@@ -1,0 +1,21 @@
+# Convenience targets for the repro-ssl-anatomy reproduction.
+
+.PHONY: install test bench examples artifacts all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null && echo OK; done
+
+artifacts:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+all: install test bench

@@ -1,0 +1,83 @@
+"""Figure 1: the SSL protocol flow, as an executable assertion.
+
+The paper's Figure 1 draws the message sequence of session negotiation
+and bulk transfer.  This benchmark runs a real handshake through the
+passive wire tracer and asserts the exact sequence -- including the
+messages the paper's RSA configuration *skips* (ServerKeyExchange,
+CertificateRequest), and their reappearance under a DHE suite.
+"""
+
+from repro import perf
+from repro.crypto.rand import PseudoRandom
+from repro.perf import format_table
+from repro.ssl import DES_CBC3_SHA, SslClient, SslServer
+from repro.ssl.ciphersuites import EDH_RSA_DES_CBC3_SHA
+from repro.ssl.trace import WireTracer, format_trace
+
+
+def traced_handshake(identity, suite):
+    key, cert = identity
+    sp, cp = perf.Profiler(), perf.Profiler()
+    tracer = WireTracer()
+    with perf.activate(sp):
+        server = SslServer(key, cert, suites=(suite,),
+                           rng=PseudoRandom(b"f1-s"))
+    with perf.activate(cp):
+        client = SslClient(suites=(suite,), rng=PseudoRandom(b"f1-c"))
+        client.start_handshake()
+    for _ in range(10):
+        with perf.activate(cp):
+            c_out = client.pending_output()
+        with perf.activate(sp):
+            s_out = server.pending_output()
+        if not c_out and not s_out:
+            break
+        if c_out:
+            tracer.feed("client", c_out)
+            with perf.activate(sp):
+                server.receive(c_out)
+        if s_out:
+            tracer.feed("server", s_out)
+            with perf.activate(cp):
+                client.receive(s_out)
+    assert client.handshake_complete and server.handshake_complete
+    with perf.activate(cp):
+        client.write(b"encrypted data")
+        wire = client.pending_output()
+    tracer.feed("client", wire)
+    with perf.activate(sp):
+        server.receive(wire)
+    return tracer
+
+
+RSA_FLOW = [
+    ("client->server", "client_hello"),
+    ("server->client", "server_hello"),
+    ("server->client", "certificate"),
+    ("server->client", "server_hello_done"),
+    ("client->server", "client_key_exchange"),
+    ("client->server", "change_cipher_spec"),
+    ("client->server", "finished (encrypted)"),
+    ("server->client", "change_cipher_spec"),
+    ("server->client", "finished (encrypted)"),
+    ("client->server", "application_data (encrypted)"),
+]
+
+
+def test_figure1_protocol_flow(benchmark, paper_key, emit):
+    tracer = benchmark.pedantic(traced_handshake,
+                                args=(paper_key, DES_CBC3_SHA),
+                                rounds=1, iterations=1)
+    flow = [(e.direction, e.description) for e in tracer.events]
+    emit(format_trace(tracer.events)
+         + "\n(compare the paper's Figure 1: the server_key_exchange and "
+           "certificate_request arrows are absent under RSA key "
+           "exchange)\n")
+    assert flow == RSA_FLOW
+
+    # Under DHE the skipped arrow reappears, exactly where Figure 1 puts it.
+    dhe_tracer = traced_handshake(paper_key, EDH_RSA_DES_CBC3_SHA)
+    dhe_flow = [(e.direction, e.description) for e in dhe_tracer.events]
+    assert ("server->client", "server_key_exchange") in dhe_flow
+    assert dhe_flow.index(("server->client", "server_key_exchange")) > \
+        dhe_flow.index(("server->client", "certificate"))

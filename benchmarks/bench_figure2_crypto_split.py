@@ -1,0 +1,49 @@
+"""Figure 2: crypto-library time split versus request file size.
+
+The paper sweeps the requested file size from 1 KB to 32 KB and plots the
+share of libcrypto time spent in public-key encryption, private-key
+encryption, hashing and other operations.  Public-key work is ~90% at 1 KB
+and declines as the bulk phase grows; private-key and hashing shares rise
+with size.
+"""
+
+from repro.perf import format_table, percent
+from repro.webserver import RequestWorkload, WebServerSimulator
+
+SIZES_KB = (1, 2, 4, 8, 16, 32)
+
+
+def run_sweep(paper_key):
+    key, cert = paper_key
+    series = {}
+    for kb in SIZES_KB:
+        sim = WebServerSimulator(key=key, cert=cert, use_crt=False)
+        result = sim.run(RequestWorkload.fixed(kb * 1024), 1)
+        assert result.failures == 0
+        series[kb] = result.crypto_category_shares()
+    return series
+
+
+def test_figure2_crypto_split(benchmark, paper_key, emit):
+    series = benchmark.pedantic(run_sweep, args=(paper_key,),
+                                rounds=1, iterations=1)
+
+    rows = [(f"{kb} KB", percent(s["public"]), percent(s["private"]),
+             percent(s["hash"]), percent(s["other"]))
+            for kb, s in series.items()]
+    emit(format_table(
+        ["request size", "public", "private", "hash", "other"], rows,
+        title="Figure 2: time breakdown in the crypto library "
+              "(paper: public ~90% at 1 KB, declining with size; "
+              "private ~2.4% at 1 KB, growing)"))
+
+    # Shape checks.
+    publics = [series[kb]["public"] for kb in SIZES_KB]
+    privates = [series[kb]["private"] for kb in SIZES_KB]
+    hashes = [series[kb]["hash"] for kb in SIZES_KB]
+    assert publics[0] > 0.85                        # ~90% at 1 KB
+    assert all(a >= b for a, b in zip(publics, publics[1:]))
+    assert all(a <= b for a, b in zip(privates, privates[1:]))
+    assert all(a <= b for a, b in zip(hashes, hashes[1:]))
+    assert publics[-1] < publics[0] - 0.1           # visible decline by 32 KB
+    assert 0.005 < privates[0] < 0.05               # paper: 2.4% at 1 KB

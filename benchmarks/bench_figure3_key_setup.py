@@ -1,0 +1,44 @@
+"""Figure 3: key-setup share of encryption time versus data size.
+
+Paper: RC4's 256-entry state-table setup is 28.5% of a 1 KB encryption,
+versus 1.0-3.6% for the block ciphers; all shares fall below 5% (RC4) and
+0.5% (block ciphers) by 8 KB and become negligible at larger sizes.
+"""
+
+from repro.crypto.bench import key_setup_shares
+from repro.perf import format_table, percent
+
+SIZES = (1024, 2048, 4096, 8192, 16384, 32768)
+
+PAPER_1KB = {"rc4": 0.285, "aes": 0.010, "des": 0.014, "3des": 0.036}
+
+
+def test_figure3_key_setup(benchmark, emit):
+    shares = benchmark.pedantic(key_setup_shares, kwargs={"sizes": SIZES},
+                                rounds=1, iterations=1)
+
+    rows = []
+    for size in SIZES:
+        row = [f"{size // 1024} KB"]
+        for name in ("aes", "des", "3des", "rc4"):
+            row.append(percent(dict(shares[name])[size]))
+        rows.append(tuple(row))
+    emit(format_table(
+        ["data size", "aes", "des", "3des", "rc4"], rows,
+        title="Figure 3: key setup as a share of encryption time "
+              "(paper at 1 KB: RC4 28.5%, block ciphers 1.0-3.6%)"))
+
+    at_1k = {name: dict(series)[1024] for name, series in shares.items()}
+    at_8k = {name: dict(series)[8192] for name, series in shares.items()}
+    # RC4's setup is an order of magnitude above the block ciphers'.
+    assert at_1k["rc4"] > 5 * max(at_1k[c] for c in ("aes", "des", "3des"))
+    assert abs(at_1k["rc4"] - PAPER_1KB["rc4"]) < 0.08
+    for cipher in ("aes", "des", "3des"):
+        assert 0.002 < at_1k[cipher] < 0.06, cipher
+    # Monotone decline with data size; near-negligible by 8 KB+.
+    for name, series in shares.items():
+        values = [v for _, v in series]
+        assert values == sorted(values, reverse=True), name
+    assert at_8k["rc4"] < 0.08
+    for cipher in ("aes", "des", "3des"):
+        assert at_8k[cipher] < 0.012, cipher

@@ -1,0 +1,66 @@
+"""Record-size sweep: the small-record tax on the bulk phase.
+
+Figure 2's bulk costs assume full-sized transfers; interactive traffic
+(the banking keystrokes of the paper's motivation) rides tiny records
+where per-record fixed costs -- the MAC's pads/finalization, padding to a
+cipher block, record headers -- dominate.  This sweep quantifies the
+crossover: cycles/byte falls ~two orders of magnitude from 16-byte to
+16 KB records.
+"""
+
+from repro import perf
+from repro.perf import format_table
+from repro.ssl import kdf
+from repro.ssl.ciphersuites import AES128_SHA, DES_CBC3_SHA, RC4_MD5
+from repro.ssl.record import ConnectionState, ContentType, KeyMaterial
+
+SIZES = (16, 64, 256, 1024, 4096, 16384)
+SUITES = (DES_CBC3_SHA, AES128_SHA, RC4_MD5)
+
+
+def make_state(suite):
+    block = kdf.key_block(bytes(48), bytes(32), bytes(32),
+                          suite.key_material_length())
+    mk, kk, ik = suite.mac_key_len, suite.key_len, suite.iv_len
+    return ConnectionState(suite, KeyMaterial(
+        block[:mk], block[2 * mk:2 * mk + kk],
+        block[2 * (mk + kk):2 * (mk + kk) + ik]))
+
+
+def run_sweep():
+    out = {}
+    for suite in SUITES:
+        state = make_state(suite)
+        series = []
+        for size in SIZES:
+            p = perf.Profiler()
+            with perf.activate(p):
+                state.seal(ContentType.APPLICATION_DATA, bytes(size))
+            series.append(p.total_cycles() / size)
+        out[suite.name] = series
+    return out
+
+
+def test_record_size_sweep(benchmark, emit):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = [(f"{size} B", *(f"{sweep[s.name][i]:.1f}" for s in SUITES))
+            for i, size in enumerate(SIZES)]
+    emit(format_table(
+        ["record size"] + [s.name for s in SUITES], rows,
+        title="Cycles per byte versus record size (per-record MAC and "
+              "padding overheads amortize only at full fragments)"))
+
+    for suite in SUITES:
+        series = sweep[suite.name]
+        # Monotone decline toward the asymptotic bulk cost.
+        assert all(a > b for a, b in zip(series, series[1:])), suite.name
+        # The small-record tax: large for every suite, and the cheaper
+        # the bulk cipher, the worse the relative tax.
+        assert series[0] > 4 * series[-1], suite.name
+    assert sweep["RC4-MD5"][0] > 15 * sweep["RC4-MD5"][-1]
+    assert (sweep["RC4-MD5"][0] / sweep["RC4-MD5"][-1]
+            > sweep["DES-CBC3-SHA"][0] / sweep["DES-CBC3-SHA"][-1])
+    # At 16 bytes the hash-based MAC dominates everything: even RC4-MD5
+    # pays dozens of cycles/byte.
+    assert sweep["RC4-MD5"][0] > 50

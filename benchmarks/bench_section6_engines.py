@@ -1,0 +1,98 @@
+"""Section 6.2 (Figures 4-6): hardware-support estimates.
+
+The paper proposes, without quantifying: (1) 3-operand ISA support for the
+hash kernels, (2) a hardware AES round/block unit performing the sixteen
+table lookups in parallel, (3) asynchronous crypto engines running the
+cipher and MAC units concurrently.  These benchmarks quantify each
+proposal against our instrumented software baselines.
+"""
+
+import repro.crypto.md5 as md5_mod
+import repro.crypto.sha1 as sha1_mod
+from repro.engines import (
+    EngineDesign, EngineSimulator, SoftwareCosts, aes_unit_estimate,
+    fragment_latency, isa_estimate, throughput_mbps,
+)
+from repro.crypto.bench import measure_cipher, measure_hash
+from repro.perf import format_table
+
+
+def test_section6_isa_extension(benchmark, emit):
+    md5_est = benchmark(isa_estimate, "md5", md5_mod.MD5_BLOCK,
+                        md5_mod.MD5_STALL)
+    sha_est = isa_estimate("sha1", sha1_mod.SHA1_BLOCK, sha1_mod.SHA1_STALL)
+
+    rows = [
+        ("MD5", f"{md5_est.base_instructions:.0f}",
+         f"{md5_est.new_instructions:.0f}",
+         f"{100 * md5_est.instruction_reduction:.1f}%",
+         f"{md5_est.speedup:.2f}x"),
+        ("SHA-1", f"{sha_est.base_instructions:.0f}",
+         f"{sha_est.new_instructions:.0f}",
+         f"{100 * sha_est.instruction_reduction:.1f}%",
+         f"{sha_est.speedup:.2f}x"),
+    ]
+    emit(format_table(
+        ["kernel", "instr/block", "with 3-op ISA", "reduction", "speedup"],
+        rows, title="Figure 4 proposal: 3-operand logical instructions"),
+        name="test_section6_isa_extension")
+
+    assert md5_est.speedup > sha_est.speedup > 1.1
+
+
+def test_section6_aes_unit(benchmark, emit):
+    est = benchmark(aes_unit_estimate, 128)
+    est256 = aes_unit_estimate(256)
+
+    rows = []
+    for e in (est, est256):
+        rows.append((f"AES-{e.key_bits}", f"{e.software_cycles:.0f}",
+                     f"{e.round_unit_cycles:.0f}",
+                     f"{e.block_unit_cycles:.0f}",
+                     f"{e.round_unit_speedup:.1f}x",
+                     f"{e.block_unit_speedup:.1f}x",
+                     f"{throughput_mbps(e.block_unit_cycles):.0f} MB/s"))
+    emit(format_table(
+        ["cipher", "sw cycles/blk", "round unit", "block unit",
+         "round speedup", "block speedup", "block-unit thr"],
+        rows, title="Figure 5 proposal: hardware AES table-lookup unit"),
+        name="test_section6_aes_unit")
+
+    assert est.round_unit_speedup > 3
+    assert est.block_unit_speedup > 5
+    assert throughput_mbps(est.block_unit_cycles) > 125  # saturates 1 Gbps
+
+
+def test_section6_crypto_engine(benchmark, emit):
+    # Software per-byte costs measured from the instrumented kernels.
+    aes_m = measure_cipher("aes", 8192)
+    sha_m = measure_hash("sha1", 8192)
+    software = SoftwareCosts(
+        cipher_cycles_per_byte=aes_m.cycles / aes_m.nbytes,
+        hash_cycles_per_byte=sha_m.cycles / sha_m.nbytes)
+
+    lat = benchmark(fragment_latency, 1024, software)
+    sim1 = EngineSimulator(EngineDesign(units=1)).run([16384] * 32)
+    sim4 = EngineSimulator(EngineDesign(units=4)).run([16384] * 32)
+
+    rows = [
+        ("software (MAC then encrypt)", f"{lat.software_cycles:.0f}", "-"),
+        ("engine, serial units", f"{lat.engine_serial_cycles:.0f}",
+         f"{lat.software_cycles / lat.engine_serial_cycles:.1f}x"),
+        ("engine, parallel MAC||cipher (Fig 6)",
+         f"{lat.engine_parallel_cycles:.0f}",
+         f"{lat.parallel_speedup:.1f}x"),
+    ]
+    text = format_table(
+        ["configuration", "cycles per 1 KB fragment", "speedup"],
+        rows, title="Figure 6 proposal: asynchronous crypto engine")
+    text += (f"\nbulk phase, 32 x 16 KB fragments:"
+             f" 1 unit pair -> {sim1.throughput_mbps():.0f} MB/s,"
+             f" 4 unit pairs -> {sim4.throughput_mbps():.0f} MB/s"
+             f" (scaling {sim1.makespan_cycles / sim4.makespan_cycles:.2f}x,"
+             f" utilization {sim4.utilization:.2f})\n")
+    emit(text, name="test_section6_crypto_engine")
+
+    assert lat.parallel_speedup > 5
+    assert lat.engine_parallel_cycles < lat.engine_serial_cycles
+    assert sim4.throughput_mbps() > 3 * sim1.throughput_mbps()

@@ -1,0 +1,39 @@
+"""Table 1: execution-time breakdown of an HTTPS web-server transaction.
+
+Paper values (1 KB page, DES-CBC3-SHA, full handshake per request):
+libcrypto 70.83%, vmlinux 17.51%, other 9.00%, httpd 1.84%, libssl 0.82%.
+"""
+
+from repro.perf import format_table, percent
+from repro.webserver import RequestWorkload, WebServerSimulator
+
+PAPER = {"libcrypto": 0.7083, "libssl": 0.0082, "httpd": 0.0184,
+         "vmlinux": 0.1751, "other": 0.0900}
+
+
+def run_experiment(paper_key):
+    key, cert = paper_key
+    sim = WebServerSimulator(key=key, cert=cert, use_crt=False)
+    return sim.run(RequestWorkload.fixed(1024), 2)
+
+
+def test_table01_webserver_breakdown(benchmark, paper_key, emit):
+    result = benchmark.pedantic(run_experiment, args=(paper_key,),
+                                rounds=1, iterations=1)
+    assert result.requests_completed == 2 and result.failures == 0
+
+    shares = result.module_shares()
+    rows = [(module, percent(shares.get(module, 0.0)), percent(PAPER[module]))
+            for module in ("libcrypto", "libssl", "httpd", "vmlinux",
+                           "other")]
+    emit(format_table(
+        ["component", "measured", "paper"], rows,
+        title="Table 1: web-server execution-time breakdown (1 KB page)"))
+
+    # Shape checks: SSL processing ~70% of the transaction, dominated by
+    # libcrypto; libssl itself negligible.
+    assert shares["libcrypto"] + shares["libssl"] > 0.6
+    assert shares["libcrypto"] > shares["vmlinux"] > shares["httpd"]
+    assert shares["libssl"] < 0.03
+    for module, paper_share in PAPER.items():
+        assert abs(shares[module] - paper_share) < 0.06, module

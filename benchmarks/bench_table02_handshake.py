@@ -1,0 +1,70 @@
+"""Table 2: execution-time breakdown of the SSL handshake, server side.
+
+The paper's ten-step anatomy with per-step totals and the crypto functions
+called inside each step.  Its ~18.6M-cycle RSA decryption is consistent
+with a non-CRT private operation (see DESIGN.md), which is the mode used
+here; the CRT mode appears in the Table 7 benchmark.
+"""
+
+from repro import perf
+from repro.perf import format_table, kcycles
+from repro.ssl import DES_CBC3_SHA
+from repro.ssl.loopback import profiled_handshake
+
+#: (region, paper kilocycles) -- Table 2's step totals.
+PAPER_STEPS = [
+    ("init", 348),
+    ("get_client_hello", 198),
+    ("send_server_hello", 61),
+    ("send_server_cert", 239),
+    ("send_server_done", 0.6),
+    ("get_client_kx", 18_941),
+    ("get_finished", 287 + 38 + 0.74),
+    ("send_cipher_spec", 2.5),
+    ("send_finished", 114),
+    ("server_flush", 0.1 + 3.8 + 287),
+]
+
+
+def run_handshake(paper_key):
+    key, cert = paper_key
+    server_prof, _, _, _ = profiled_handshake(
+        key, cert, suite=DES_CBC3_SHA, use_crt=False,
+        seed=b"t2")  # Table 2's non-CRT configuration
+    key.use_crt = True
+    return server_prof
+
+
+def test_table02_handshake_anatomy(benchmark, paper_key, emit):
+    prof = benchmark.pedantic(run_handshake, args=(paper_key,),
+                              rounds=1, iterations=1)
+
+    rows = []
+    measured_total = 0.0
+    for region, paper_kc in PAPER_STEPS:
+        cycles = prof.region_cycles(region)
+        measured_total += cycles
+        node = prof.find_region(region)
+        crypto = ""
+        if node is not None:
+            subs = sorted(node.children.items(),
+                          key=lambda kv: -kv[1].inclusive_cycles())
+            crypto = ", ".join(
+                f"{name}={kcycles(child.inclusive_cycles()):.0f}k"
+                for name, child in subs[:3])
+        rows.append((region, kcycles(cycles), paper_kc, crypto))
+    rows.append(("TOTAL", kcycles(measured_total), 20_540, ""))
+    emit(format_table(
+        ["step", "measured (kcycles)", "paper (kcycles)",
+         "crypto functions (top sub-regions)"],
+        rows, title="Table 2: SSL handshake anatomy, server side "
+                    "(1024-bit RSA, non-CRT, DES-CBC3-SHA)"))
+
+    # Shape checks.
+    kx = prof.region_cycles("get_client_kx")
+    assert kx / measured_total > 0.8            # paper: 18.9M / 20.5M = 92%
+    assert 13e6 < kx < 23e6                     # paper: 18.9M
+    assert 15e6 < measured_total < 26e6         # paper: 20.5M
+    # The RSA decryption itself sits inside step 5.
+    assert prof.region_cycles("get_client_kx/rsa_private_decryption") > \
+        0.9 * kx * 0.9

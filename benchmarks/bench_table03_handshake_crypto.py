@@ -1,0 +1,51 @@
+"""Table 3: crypto operations during the SSL handshake.
+
+Paper values: public key 90.4%, private key 0.1%, hashing 2.8%, other
+1.7% -- crypto in total 95.0% of SSL handshake processing.
+"""
+
+from repro import perf
+from repro.perf import format_table, percent
+from repro.perf.categories import crypto_breakdown
+from repro.ssl import DES_CBC3_SHA
+from repro.ssl.loopback import profiled_handshake
+
+PAPER = {"public": 0.904, "private": 0.001, "hash": 0.028, "other": 0.017,
+         "crypto_total": 0.950}
+
+
+def run_handshake(paper_key):
+    key, cert = paper_key
+    server_prof, _, _, _ = profiled_handshake(
+        key, cert, suite=DES_CBC3_SHA, use_crt=False, seed=b"t3")
+    key.use_crt = True
+    return server_prof
+
+
+def test_table03_handshake_crypto(benchmark, paper_key, emit):
+    prof = benchmark.pedantic(run_handshake, args=(paper_key,),
+                              rounds=1, iterations=1)
+    total = prof.total_cycles()
+    breakdown = crypto_breakdown(prof)
+    crypto_total = sum(breakdown.values())
+
+    rows = [
+        ("Public key encryption", percent(breakdown["public"] / total),
+         percent(PAPER["public"])),
+        ("Private key encryption", percent(breakdown["private"] / total),
+         percent(PAPER["private"])),
+        ("Hash functions", percent(breakdown["hash"] / total),
+         percent(PAPER["hash"])),
+        ("Other functions", percent(breakdown["other"] / total),
+         percent(PAPER["other"])),
+        ("Total crypto operations", percent(crypto_total / total),
+         percent(PAPER["crypto_total"])),
+    ]
+    emit(format_table(
+        ["functionality", "measured (% of handshake)", "paper"], rows,
+        title="Table 3: crypto operations during the SSL handshake"))
+
+    assert breakdown["public"] / total > 0.80     # paper: 90.4%
+    assert crypto_total / total > 0.85            # paper: 95.0%
+    assert breakdown["private"] / total < 0.01    # paper: 0.1%
+    assert breakdown["hash"] / total < 0.08       # paper: 2.8%

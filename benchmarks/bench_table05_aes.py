@@ -1,0 +1,51 @@
+"""Table 5: AES block-operation execution-time breakdown.
+
+Paper: 128-bit key -> 69 / 397 / 96 cycles (12% / 71% / 17%); 256-bit key
+-> 69 / 582 / 96 cycles (9% / 78% / 13%).  Only the main-rounds part grows
+with key size.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.bench import aes_block_breakdown
+from repro.perf import Profiler, activate, format_table, percent
+
+PAPER = {128: (69, 397, 96), 256: (69, 582, 96)}
+
+
+def measure_block(key_bits):
+    """Execute one real block op and cross-check the phase model."""
+    p = Profiler()
+    with activate(p):
+        AES(bytes(key_bits // 8)).encrypt_block(bytes(16))
+    return p.functions["AES_encrypt"].cycles
+
+
+def test_table05_aes_breakdown(benchmark, emit):
+    executed_128 = benchmark(measure_block, 128)
+
+    rows = []
+    for bits in (128, 256):
+        phases = aes_block_breakdown(bits)
+        total = sum(c for _, c in phases)
+        for (phase, cycles), paper in zip(phases, PAPER[bits]):
+            rows.append((f"AES-{bits}", phase, cycles,
+                         percent(cycles / total), paper))
+        rows.append((f"AES-{bits}", "TOTAL", total, "100%",
+                     sum(PAPER[bits])))
+    emit(format_table(
+        ["key", "phase", "measured (cycles)", "share", "paper (cycles)"],
+        rows, title="Table 5: AES block-operation breakdown"))
+
+    # Shape checks.
+    for bits in (128, 256):
+        phases = aes_block_breakdown(bits)
+        total = sum(c for _, c in phases)
+        main_share = phases[1][1] / total
+        paper_share = PAPER[bits][1] / sum(PAPER[bits])
+        assert abs(main_share - paper_share) < 0.07, bits
+        assert abs(total - sum(PAPER[bits])) / sum(PAPER[bits]) < 0.2
+    # The modelled phases must agree with real executed blocks.
+    assert abs(executed_128 - sum(c for _, c in aes_block_breakdown(128))) \
+        / executed_128 < 0.05
+    # Fixed phases don't change with key size (paper's observation).
+    assert aes_block_breakdown(128)[0][1] == aes_block_breakdown(256)[0][1]

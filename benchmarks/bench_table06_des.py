@@ -1,0 +1,51 @@
+"""Table 6: DES / 3DES block-operation execution-time breakdown.
+
+Paper: DES -> IP 50 / substitution 286 / FP 46 cycles (74.7% substitution);
+3DES -> 55 / 915 / 57 (89.1% substitution).  3DES runs 3x16 rounds between
+a single IP/FP pair.
+"""
+
+from repro.crypto.bench import des_block_breakdown
+from repro.crypto.des import DES, TripleDES
+from repro.perf import Profiler, activate, format_table, percent
+
+PAPER = {"des": (50, 286, 46), "3des": (55, 915, 57)}
+
+
+def measure_block(variant):
+    p = Profiler()
+    with activate(p):
+        if variant == "des":
+            DES(bytes(8)).encrypt_block(bytes(8))
+            return p.functions["DES_encrypt"].cycles
+        TripleDES(bytes(24)).encrypt_block(bytes(8))
+        return p.functions["DES_encrypt3"].cycles
+
+
+def test_table06_des_breakdown(benchmark, emit):
+    executed_des = benchmark(measure_block, "des")
+
+    rows = []
+    for variant in ("des", "3des"):
+        phases = des_block_breakdown(variant)
+        total = sum(c for _, c in phases)
+        for (phase, cycles), paper in zip(phases, PAPER[variant]):
+            rows.append((variant.upper(), phase, cycles,
+                         percent(cycles / total), paper))
+        rows.append((variant.upper(), "TOTAL", total, "100%",
+                     sum(PAPER[variant])))
+    emit(format_table(
+        ["cipher", "phase", "measured (cycles)", "share",
+         "paper (cycles)"],
+        rows, title="Table 6: DES/3DES block-operation breakdown"))
+
+    for variant in ("des", "3des"):
+        phases = des_block_breakdown(variant)
+        total = sum(c for _, c in phases)
+        sub_share = phases[1][1] / total
+        paper_share = PAPER[variant][1] / sum(PAPER[variant])
+        assert abs(sub_share - paper_share) < 0.06, variant
+        assert abs(total - sum(PAPER[variant])) / sum(PAPER[variant]) < 0.2
+    # Model matches executed block.
+    assert abs(executed_des - sum(c for _, c in des_block_breakdown("des"))
+               ) / executed_des < 0.1

@@ -1,0 +1,41 @@
+"""Table 10: MD5 and SHA-1 execution-time breakdown (1024-byte input).
+
+Paper: MD5 -> init 59 / update 6070 / final 550 cycles (update 90.88%);
+SHA-1 -> 66 / 9871 / 786 (update 92.05%).
+"""
+
+from repro.crypto.bench import hash_phase_breakdown, measure_hash
+from repro.perf import format_table, percent
+
+PAPER = {
+    "md5": {"Init": 59, "Update": 6070, "Final": 550},
+    "sha1": {"Init": 66, "Update": 9871, "Final": 786},
+}
+
+
+def test_table10_hash_breakdown(benchmark, emit):
+    benchmark(lambda: measure_hash("sha1", 1024))
+
+    rows = []
+    totals = {}
+    for name in ("md5", "sha1"):
+        phases = hash_phase_breakdown(name, 1024)
+        total = sum(c for _, c in phases)
+        totals[name] = total
+        for phase, cycles in phases:
+            rows.append((name.upper(), phase, cycles,
+                         percent(cycles / total), PAPER[name][phase]))
+        rows.append((name.upper(), "TOTAL", total, "100%",
+                     sum(PAPER[name].values())))
+    emit(format_table(
+        ["hash", "phase", "measured (cycles)", "share", "paper (cycles)"],
+        rows, title="Table 10: MD5 / SHA-1 breakdown on 1024 bytes"))
+
+    for name in ("md5", "sha1"):
+        phases = dict(hash_phase_breakdown(name, 1024))
+        total = sum(phases.values())
+        paper_update = PAPER[name]["Update"] / sum(PAPER[name].values())
+        assert abs(phases["Update"] / total - paper_update) < 0.06, name
+        assert phases["Init"] / total < 0.02, name
+    # SHA-1 is the more compute-intensive hash (paper: 10.7k vs 6.7k).
+    assert 1.3 < totals["sha1"] / totals["md5"] < 2.0

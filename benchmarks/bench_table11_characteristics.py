@@ -1,0 +1,43 @@
+"""Table 11: architectural characteristics of the crypto operations.
+
+CPI, path length (instructions per byte) and throughput for AES, DES,
+3DES, RC4, RSA, MD5 and SHA-1.  Note (EXPERIMENTS.md): the paper's own
+Table 11 is internally inconsistent by ~1.3x between CPI x path-length and
+the reported MB/s; we match CPI and path length, so our throughputs sit
+~25-40% above the paper's MB/s column with the same ordering.
+"""
+
+from repro.crypto.bench import ALGORITHMS, characteristics
+from repro.perf import format_table
+
+PAPER = {
+    "aes": (0.66, 50, 51.19), "des": (0.67, 69, 36.95),
+    "3des": (0.66, 194, 13.32), "rc4": (0.57, 14, 211.34),
+    "rsa": (0.77, 61_457, 0.036), "md5": (0.72, 12, 197.86),
+    "sha1": (0.52, 24, 135.30),
+}
+
+
+def test_table11_characteristics(benchmark, emit):
+    table = benchmark.pedantic(characteristics,
+                               kwargs={"nbytes": 8192, "rsa_bits": 1024},
+                               rounds=1, iterations=1)
+
+    rows = []
+    for name in ALGORITHMS:
+        c, p = table[name], PAPER[name]
+        rows.append((name.upper(), f"{c.cpi:.2f}", f"{p[0]:.2f}",
+                     f"{c.path_length:.1f}", f"{p[1]:g}",
+                     f"{c.throughput_mbps:.2f}", f"{p[2]:g}"))
+    emit(format_table(
+        ["op", "CPI", "CPI (paper)", "instr/byte", "instr/byte (paper)",
+         "MB/s", "MB/s (paper)"], rows,
+        title="Table 11: architectural characteristics"))
+
+    for name in ALGORITHMS:
+        assert abs(table[name].cpi - PAPER[name][0]) < 0.05, name
+    t = {k: v.throughput_mbps for k, v in table.items()}
+    assert t["rc4"] > t["md5"] > t["sha1"] > t["aes"] > t["des"] > \
+        t["3des"] > t["rsa"]
+    # RSA's path length dwarfs everything else by three orders of magnitude.
+    assert table["rsa"].path_length > 100 * table["3des"].path_length

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Explore the anatomy of each cryptographic kernel (paper Section 5-6).
+
+Prints, for every algorithm the paper studies: architectural
+characteristics (CPI, path length, throughput), the internal phase
+breakdown, and the top of the instruction mix.
+
+    python examples/crypto_anatomy.py [algorithm ...]
+"""
+
+import sys
+
+from repro.crypto.bench import (
+    ALGORITHMS, aes_block_breakdown, characteristics, des_block_breakdown,
+    hash_phase_breakdown, instruction_mix, measure_rsa, rsa_step_breakdown,
+)
+from repro.perf import format_table, percent
+
+
+def phase_table(name):
+    if name == "aes":
+        return "one 16-byte block op", aes_block_breakdown(128)
+    if name in ("des", "3des"):
+        return "one 8-byte block op", des_block_breakdown(name)
+    if name in ("md5", "sha1"):
+        return "digest of 1024 bytes", hash_phase_breakdown(name, 1024)
+    if name == "rsa":
+        return ("one 1024-bit private op",
+                rsa_step_breakdown(measure_rsa(1024)))
+    return None, None
+
+
+def main() -> None:
+    wanted = sys.argv[1:] or list(ALGORITHMS)
+    unknown = set(wanted) - set(ALGORITHMS)
+    if unknown:
+        raise SystemExit(f"unknown algorithm(s): {sorted(unknown)}; "
+                         f"choose from {ALGORITHMS}")
+
+    print("Measuring architectural characteristics (Table 11)...")
+    table = characteristics(nbytes=8192, rsa_bits=1024)
+
+    for name in wanted:
+        c = table[name]
+        print(f"\n{'=' * 60}\n{name.upper()}")
+        print(f"  CPI {c.cpi:.2f} | {c.path_length:.1f} instructions/byte "
+              f"| {c.throughput_mbps:.2f} MB/s on the modelled P4")
+
+        scope, phases = phase_table(name)
+        if phases:
+            total = sum(cyc for _, cyc in phases)
+            rows = [(phase, f"{cyc:,.0f}", percent(cyc / total))
+                    for phase, cyc in phases]
+            print(format_table(["phase", "cycles", "share"], rows,
+                               title=f"Breakdown of {scope}"))
+
+        rows = [(instr, percent(share))
+                for instr, share in instruction_mix(name, nbytes=2048,
+                                                    top=6)]
+        print(format_table(["instruction", "share"], rows,
+                           title="Instruction mix (top 6, Table 12)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""What-if: the paper's Section 6.2 hardware proposals, quantified.
+
+Estimates the effect of (1) 3-operand logical instructions on the hash
+kernels, (2) a hardware AES round/block unit, and (3) an asynchronous
+crypto engine with a parallel cipher+MAC pipeline, against the
+instrumented software baselines.
+
+    python examples/engine_speedup.py
+"""
+
+import repro.crypto.md5 as md5_mod
+import repro.crypto.sha1 as sha1_mod
+from repro.crypto.bench import measure_cipher, measure_hash
+from repro.engines import (
+    EngineDesign, EngineSimulator, SoftwareCosts, aes_unit_estimate,
+    fragment_latency, isa_estimate, throughput_mbps,
+)
+from repro.perf import format_table
+
+
+def main() -> None:
+    # 1. ISA support (Figure 4).
+    rows = []
+    for name, mod, stall in (("MD5", md5_mod.MD5_BLOCK, md5_mod.MD5_STALL),
+                             ("SHA-1", sha1_mod.SHA1_BLOCK,
+                              sha1_mod.SHA1_STALL)):
+        est = isa_estimate(name.lower().replace("-", ""), mod, stall)
+        rows.append((name, f"{est.base_instructions:.0f}",
+                     f"{est.new_instructions:.0f}",
+                     f"{est.speedup:.2f}x"))
+    print(format_table(
+        ["hash", "instr/block", "with 3-operand ISA", "speedup"],
+        rows, title="1. ISA support: 3-operand logical instructions"))
+
+    # 2. AES hardware unit (Figure 5).
+    rows = []
+    for bits in (128, 256):
+        est = aes_unit_estimate(bits)
+        rows.append((f"AES-{bits}", f"{est.software_cycles:.0f}",
+                     f"{est.block_unit_cycles:.0f}",
+                     f"{est.block_unit_speedup:.1f}x",
+                     f"{throughput_mbps(est.block_unit_cycles):.0f} MB/s"))
+    print(format_table(
+        ["cipher", "software c/blk", "block unit c/blk", "speedup",
+         "hw throughput"],
+        rows, title="2. Hardware AES table-lookup unit"))
+    print("Software AES cannot saturate 1 Gbps (125 MB/s); "
+          "the block unit exceeds it comfortably.\n")
+
+    # 3. Crypto engine (Figure 6), using measured software baselines.
+    aes_m = measure_cipher("aes", 8192)
+    sha_m = measure_hash("sha1", 8192)
+    software = SoftwareCosts(cipher_cycles_per_byte=aes_m.cycles / 8192,
+                             hash_cycles_per_byte=sha_m.cycles / 8192)
+    lat = fragment_latency(16384, software)
+    rows = [("software, MAC then encrypt", f"{lat.software_cycles:,.0f}"),
+            ("engine, units serial", f"{lat.engine_serial_cycles:,.0f}"),
+            ("engine, MAC || cipher", f"{lat.engine_parallel_cycles:,.0f}")]
+    print(format_table(["configuration", "cycles per 16 KB fragment"],
+                       rows, title="3. Asynchronous crypto engine"))
+
+    for units in (1, 2, 4, 8):
+        sim = EngineSimulator(EngineDesign(units=units)).run([16384] * 64)
+        print(f"   {units} unit pair(s): {sim.throughput_mbps():8.0f} MB/s "
+              f"(utilization {sim.utilization:.2f})")
+    print("\nThroughput scales with parallel unit pairs in the bulk phase, "
+          "as the paper anticipates for multi-session servers.")
+
+
+if __name__ == "__main__":
+    main()

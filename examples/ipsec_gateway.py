@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""An IPsec gateway protecting a packet flow -- SSL's network-layer sibling.
+
+The paper's introduction notes SSL/TLS and IPsec "have common components
+for security issues".  This example runs an ESP tunnel over the same
+instrumented kernels, pushes a lossy, reordering packet flow through it,
+and compares the per-byte protection cost with an SSL record stream.
+
+    python examples/ipsec_gateway.py
+"""
+
+from repro import perf
+from repro.crypto.rand import PseudoRandom
+from repro.ipsec import (
+    ESP_3DES_SHA1, ESP_AES128_SHA1, ReplayError, establish_tunnel,
+)
+from repro.perf import format_table
+from repro.ssl import kdf
+from repro.ssl.ciphersuites import AES128_SHA
+from repro.ssl.record import ConnectionState, ContentType, KeyMaterial
+
+PACKET = 1400  # typical MTU-sized inner packet
+
+
+def main() -> None:
+    print("Establishing an ESP tunnel (AES-128 + HMAC-SHA1-96)...")
+    gateway_a, gateway_b = establish_tunnel(b"ike-derived-shared-secret",
+                                            ESP_AES128_SHA1)
+
+    # Protect a flow of 50 packets; deliver with reordering and drops.
+    flow = [f"packet-{i:03d}".encode().ljust(PACKET, b".")
+            for i in range(50)]
+    profiler = perf.Profiler()
+    with perf.activate(profiler):
+        protected = [gateway_a.protect(p) for p in flow]
+
+    order = list(range(50))
+    for i in range(0, 48, 5):                  # local reordering
+        order[i], order[i + 1] = order[i + 1], order[i]
+    delivered = [i for i in order if i % 9 != 4]  # ~11% loss
+
+    received = replays = 0
+    with perf.activate(profiler):
+        for i in delivered:
+            try:
+                inner = gateway_b.unprotect(protected[i])
+                assert inner == flow[i]
+                received += 1
+            except ReplayError:
+                replays += 1
+        # An attacker replays three packets verbatim:
+        for i in delivered[:3]:
+            try:
+                gateway_b.unprotect(protected[i])
+            except ReplayError:
+                replays += 1
+
+    print(f"sent 50, delivered {len(delivered)} (reordered, lossy), "
+          f"accepted {received}, replays rejected {replays}\n")
+
+    # Cost comparison with SSL on identical kernels.
+    def ssl_cost_per_byte():
+        suite = AES128_SHA
+        block = kdf.key_block(bytes(48), bytes(32), bytes(32),
+                              suite.key_material_length())
+        mk, kk, ik = suite.mac_key_len, suite.key_len, suite.iv_len
+        state = ConnectionState(suite, KeyMaterial(
+            block[:mk], block[2 * mk:2 * mk + kk],
+            block[2 * (mk + kk):2 * (mk + kk) + ik]))
+        p = perf.Profiler()
+        with perf.activate(p):
+            state.seal(ContentType.APPLICATION_DATA, bytes(PACKET))
+        return p.total_cycles() / PACKET
+
+    def esp_cost_per_byte(suite):
+        a, _ = establish_tunnel(b"cost-probe", suite)
+        p = perf.Profiler()
+        with perf.activate(p):
+            a.protect(bytes(PACKET))
+        return p.total_cycles() / PACKET
+
+    rows = [
+        ("SSL record, AES128-SHA", f"{ssl_cost_per_byte():.1f}"),
+        ("ESP packet, AES128+HMAC-SHA1-96",
+         f"{esp_cost_per_byte(ESP_AES128_SHA1):.1f}"),
+        ("ESP packet, 3DES+HMAC-SHA1-96",
+         f"{esp_cost_per_byte(ESP_3DES_SHA1):.1f}"),
+    ]
+    print(format_table(["protection", "cycles/byte"], rows,
+                       title=f"Bulk protection cost ({PACKET}-byte packets)"
+                             " -- the 'common components' in numbers"))
+    print("Same ciphers, same hashes, same costs: the protection layer's "
+          "framing (record vs packet) is second-order, as the paper's "
+          "intro implies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: one secure session, measured.
+
+Runs a full SSLv3 handshake (RSA-1024, DES-CBC3-SHA -- the paper's
+configuration) between an in-memory client and server, transfers a little
+application data, and prints where the server's cycles went.
+
+    python examples/quickstart.py
+"""
+
+from repro.perf import format_table, kcycles, percent
+from repro.ssl import DES_CBC3_SHA
+from repro.ssl.loopback import make_server_identity, run_session
+
+
+def main() -> None:
+    print("Generating a 1024-bit server identity...")
+    key, cert = make_server_identity(1024, seed=b"quickstart")
+
+    message = b"GET /account/balance HTTP/1.1\r\n\r\n" * 8
+    print(f"Running an SSLv3 session (suite: {DES_CBC3_SHA.name}), "
+          f"echoing {len(message)} bytes...")
+    result = run_session(message, suite=DES_CBC3_SHA, key=key, cert=cert)
+    assert result.echoed == message
+
+    prof = result.server_profiler
+    print(f"\nHandshake completed in {result.handshake_flights} flights; "
+          f"server spent {prof.total_cycles() / 1e6:.2f} Mcycles "
+          f"({prof.cpu.seconds(prof.total_cycles()) * 1e3:.2f} ms on the "
+          f"modelled 2.26 GHz Pentium 4).\n")
+
+    rows = [(name, f"{kcycles(cycles):,.1f}", percent(share))
+            for name, cycles, share in prof.module_breakdown()]
+    print(format_table(["module", "kcycles", "share"], rows,
+                       title="Server-side module breakdown"))
+
+    rows = [(name, f"{kcycles(cycles):,.1f}", percent(share))
+            for name, cycles, share in prof.function_breakdown(top=8)]
+    print(format_table(["function", "kcycles", "share"], rows,
+                       title="Top functions (flat profile)"))
+
+    print("The RSA private decryption of the pre-master secret dominates "
+          "-- the paper's central observation.")
+
+
+if __name__ == "__main__":
+    main()

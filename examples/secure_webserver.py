@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Two HTTPS workloads the paper's introduction motivates.
+
+*Banking / B2C*: many short transactions -- a full handshake per request
+and ~1 KB of data, so the session-negotiation phase (RSA) dominates.
+
+*B2B bulk exchange*: long sessions moving tens of kilobytes with session
+reuse, so bulk encryption and MAC hashing take over -- "for workloads that
+have large request file size or long sessions of data exchange (e.g. B2B
+sessions), optimizations should be concentrated on both private key
+encryption and public key encryption" (Section 4.1).
+
+    python examples/secure_webserver.py
+"""
+
+from repro.perf import format_table, percent
+from repro.ssl import DES_CBC3_SHA
+from repro.ssl.loopback import make_server_identity
+from repro.webserver import RequestWorkload, WebServerSimulator
+
+
+def run_workload(title, key, cert, workload, nrequests):
+    sim = WebServerSimulator(key=key, cert=cert, use_crt=False,
+                             suite=DES_CBC3_SHA)
+    result = sim.run(workload, nrequests)
+    assert result.failures == 0
+
+    print(f"== {title} ==")
+    print(f"requests: {result.requests_completed}  "
+          f"(resumed handshakes: {result.resumed_handshakes})  "
+          f"bytes served: {result.bytes_served:,}  "
+          f"cycles/request: {result.cycles_per_request() / 1e6:.1f}M")
+    rows = [(module, percent(share))
+            for module, share in result.module_shares().items()]
+    print(format_table(["module", "share"], rows))
+    rows = [(category, percent(share))
+            for category, share in result.crypto_category_shares().items()]
+    print(format_table(["crypto category", "share of libcrypto"], rows))
+    return result
+
+
+def main() -> None:
+    key, cert = make_server_identity(1024, seed=b"webserver-example")
+
+    banking = RequestWorkload.fixed(1024, resumption_rate=0.0,
+                                    seed=b"banking")
+    b2b = RequestWorkload([(16384, 0.6), (32768, 0.4)],
+                          resumption_rate=0.75, seed=b"b2b")
+
+    bank = run_workload("Banking workload (1 KB, full handshakes)",
+                        key, cert, banking, 3)
+    bulk = run_workload("B2B workload (16-32 KB, 75% session reuse)",
+                        key, cert, b2b, 4)
+
+    bank_public = bank.crypto_category_shares()["public"]
+    bulk_private = bulk.crypto_category_shares()["private"]
+    print("Takeaway: the banking workload is public-key bound "
+          f"(public = {bank_public:.0%} of crypto time), while the B2B "
+          f"workload shifts weight to the bulk ciphers and MAC "
+          f"(private = {bulk_private:.0%}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The primary metadata lives in pyproject.toml; this file exists so that
+editable installs work in offline environments that lack the `wheel`
+package (pip then falls back to `setup.py develop`).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Anatomy and Performance of SSL Processing' "
+        "(ISPASS 2005)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.10",
+)

@@ -1,0 +1,29 @@
+"""repro -- reproduction of "Anatomy and Performance of SSL Processing"
+(Zhao, Iyer, Makineni, Bhuyan; ISPASS 2005).
+
+The package implements, from scratch and in pure Python, every system the
+paper measures: a multi-precision/RSA stack (:mod:`repro.bignum`,
+:mod:`repro.crypto`), an SSLv3 protocol implementation (:mod:`repro.ssl`),
+a simulated web-server environment (:mod:`repro.webserver`), hardware
+acceleration models (:mod:`repro.engines`), and an analytic performance
+model standing in for the paper's Pentium 4 + Oprofile/VTune/SoftSDV
+toolchain (:mod:`repro.perf`).
+
+Quick start::
+
+    from repro import perf
+    from repro.ssl import loopback
+
+    result = loopback.run_session(b"hello over SSLv3" * 64)
+    print(result.server_profiler.module_breakdown())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+__version__ = "1.0.0"
+
+from . import bignum, crypto, engines, ipsec, perf, ssl, webserver
+
+__all__ = ["bignum", "crypto", "engines", "ipsec", "perf", "ssl", "webserver",
+           "__version__"]

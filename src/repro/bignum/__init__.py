@@ -1,0 +1,13 @@
+"""Multi-precision integer substrate (OpenSSL ``crypto/bn`` equivalent)."""
+
+from .barrett import BarrettContext, mod_exp_barrett
+from .bn import BigNum, mod_inverse
+from .kernels import WORD_BITS, WORD_MASK
+from .modexp import mod_exp, window_bits_for_exponent_size
+from .montgomery import MontgomeryContext
+
+__all__ = [
+    "BarrettContext", "mod_exp_barrett",
+    "BigNum", "mod_inverse", "WORD_BITS", "WORD_MASK",
+    "mod_exp", "window_bits_for_exponent_size", "MontgomeryContext",
+]

@@ -1,0 +1,115 @@
+"""Barrett reduction (OpenSSL's ``BN_RECP_CTX`` family).
+
+The era library kept two modular-multiplication strategies: Montgomery for
+odd moduli (the RSA hot path the paper profiles) and a reciprocal/Barrett
+method otherwise.  This module supplies the Barrett side so the ablation
+benchmark can show *why* Montgomery owns the RSA numbers: Barrett needs the
+equivalent of three n-word products per modular multiplication against
+Montgomery's interleaved two, and its quotient estimate costs a wide
+multiply by the precomputed reciprocal.
+
+Implementation note: real Barrett implementations truncate the two
+estimate products; ours computes full products through the instrumented
+BigNum multiply (charging the full schoolbook work), which matches the
+classic generic (non-truncated) formulation and keeps the accounting
+honest about what this code actually executes.
+"""
+
+from __future__ import annotations
+
+from ..perf import charge, mix
+from .bn import WRAPPER_CALL, BigNum
+from .kernels import WORD_BITS
+from .modexp import EXP_BIT_SCAN, window_bits_for_exponent_size
+
+#: Barrett bookkeeping per reduction (shifts, compare/correct loop).
+BARRETT_FIXUP = mix(movl=12, subl=4, cmpl=4, jnz=4, addl=2)
+
+
+class BarrettContext:
+    """Precomputed reciprocal for repeated reduction modulo ``m``."""
+
+    def __init__(self, modulus: BigNum):
+        if modulus.is_zero():
+            raise ValueError("modulus must be non-zero")
+        if modulus.nwords() < 1:
+            raise ValueError("modulus too small")
+        self.m = modulus
+        self.k = modulus.nwords()
+        # mu = floor(R^2 / m) with R = 2^(32k); via BN_div (setup only).
+        r2 = BigNum.from_int(1 << (2 * self.k * WORD_BITS))
+        self.mu, _ = r2.divmod(modulus)
+
+    def reduce(self, x: BigNum) -> BigNum:
+        """``x mod m`` for ``0 <= x < m^2`` (the Barrett estimate + fixup)."""
+        k = self.k
+        if x.ucmp(self.m) < 0:
+            charge(WRAPPER_CALL, function="BN_mod_mul_reciprocal")
+            return BigNum(list(x.d))
+        # q = floor( floor(x / R^{k-1}) * mu / R^{k+1} )
+        q1 = x.rshift_words(k - 1)
+        q2 = q1.mul(self.mu)
+        q = q2.rshift_words(k + 1)
+        # q underestimates the true quotient by at most 2, so x - q*m is
+        # non-negative and < 3m; no modular wraparound is involved.
+        r = x.usub(q.mul(self.m))
+        charge(BARRETT_FIXUP, function="BN_mod_mul_reciprocal")
+        # The estimate is off by at most 2.
+        guard = 0
+        while r.ucmp(self.m) >= 0:
+            r = r.usub(self.m)
+            guard += 1
+            if guard > 3:
+                raise AssertionError("Barrett estimate out of bounds")
+        return r
+
+    def mod_mul(self, a: BigNum, b: BigNum) -> BigNum:
+        """``a * b mod m`` via one product and one Barrett reduction."""
+        return self.reduce(a.mul(b))
+
+
+def mod_exp_barrett(base: BigNum, exponent: BigNum,
+                    modulus: BigNum) -> BigNum:
+    """Sliding-window exponentiation over Barrett arithmetic.
+
+    Works for *any* modulus (unlike Montgomery's odd-only requirement);
+    the trade is more multiply work per step, which the ablation
+    benchmark quantifies.
+    """
+    ctx = BarrettContext(modulus)
+    bits = exponent.nbits()
+    if bits == 0:
+        return BigNum.one().mod(modulus)
+    wsize = window_bits_for_exponent_size(bits)
+    charge(EXP_BIT_SCAN, times=bits, function="BN_mod_exp_recp")
+
+    table = [base.mod(modulus)]
+    if wsize > 1:
+        base_sq = ctx.mod_mul(table[0], table[0])
+        for _ in range(1, 1 << (wsize - 1)):
+            table.append(ctx.mod_mul(table[-1], base_sq))
+
+    acc = BigNum.one()
+    started = False
+    i = bits - 1
+    while i >= 0:
+        if exponent.bit(i) == 0:
+            if started:
+                acc = ctx.mod_mul(acc, acc)
+            i -= 1
+            continue
+        j = max(i - wsize + 1, 0)
+        while exponent.bit(j) == 0:
+            j += 1
+        value = 0
+        for k in range(i, j - 1, -1):
+            value = (value << 1) | exponent.bit(k)
+        if started:
+            for _ in range(i - j + 1):
+                acc = ctx.mod_mul(acc, acc)
+            acc = ctx.mod_mul(acc, table[(value - 1) >> 1])
+        else:
+            acc = table[(value - 1) >> 1]
+            started = True
+        i = j - 1
+    return acc

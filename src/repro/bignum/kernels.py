@@ -1,0 +1,149 @@
+"""Word-level multi-precision kernels (OpenSSL's ``bn_asm`` equivalents).
+
+The paper's RSA analysis bottoms out in a handful of tiny word-array loops:
+``bn_mul_add_words`` alone is 47% of RSA decryption time (Table 8), and Table
+9 prints the exact nine x86 instructions of its inner loop.  This module
+implements those loops over little-endian arrays of 32-bit words and declares,
+for each, the instruction mix of one loop iteration.
+
+The compute functions here are *uncharged* -- they only do arithmetic.
+Callers (:mod:`repro.bignum.bn`, :mod:`repro.bignum.montgomery`) batch-charge
+the per-word mixes via :mod:`repro.perf` under the OpenSSL kernel names so
+that the function-level profile of Table 8 falls out of real execution
+without a per-word accounting penalty.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..perf import mix
+
+#: Bits per word.  The paper's machine is IA-32; OpenSSL's generic x86 path
+#: uses 32-bit limbs, which is also what Table 9's ``mull`` implies.
+WORD_BITS = 32
+WORD_MASK = 0xFFFFFFFF
+WORD_BASE = 1 << WORD_BITS
+
+# ---------------------------------------------------------------------------
+# Instruction mixes (per processed word unless stated otherwise)
+# ---------------------------------------------------------------------------
+
+#: One iteration of ``bn_mul_add_words`` -- exactly the nine instructions of
+#: Table 9: four ``movl`` (load a[i], load r[i], store r[i], carry move), one
+#: ``mull``, two ``addl`` and two ``adcl`` -- plus amortized loop control
+#: (the x86 implementation is unrolled 4x: one ``leal``-style pointer bump,
+#: ``decl`` and ``jnz`` shared across four words).
+MULADD_WORD = mix(movl=4, mull=1, addl=2, adcl=2, leal=0.5, decl=0.25, jnz=0.25)
+
+#: One iteration of ``bn_mul_words`` (r[i] = a[i]*w + c): one load, one
+#: multiply, carry add, store, carry move; same amortized loop control.
+MUL_WORD = mix(movl=3, mull=1, addl=1, adcl=1, leal=0.5, decl=0.25, jnz=0.25)
+
+#: One iteration of ``bn_add_words``: load a, add b from memory with carry,
+#: store; amortized loop control.
+ADD_WORD = mix(movl=2, adcl=1, addl=0.25, leal=0.5, decl=0.25, jnz=0.25)
+
+#: One iteration of ``bn_sub_words`` (subtract with borrow).
+SUB_WORD = mix(movl=2, sbbl=1, subl=0.25, leal=0.5, decl=0.25, jnz=0.25)
+
+#: Per-call prologue/epilogue of any bn_* kernel: stack frame, argument
+#: loads, return.  Charged once per kernel invocation by the callers.
+KERNEL_CALL = mix(pushl=3, movl=5, popl=3, ret=1, call=1, cmpl=1, jnz=1)
+
+#: Dependency-stall factor for the bignum kernels.  The ``mull`` result feeds
+#: an add-with-carry chain (Table 9), but the four-way unrolled loop exposes
+#: independent multiplies, so the out-of-order core hides most of the chain;
+#: a small residual stall remains.
+BN_STALL = 1.05
+
+
+# ---------------------------------------------------------------------------
+# Compute kernels (uncharged)
+# ---------------------------------------------------------------------------
+
+def mul_add_words(r: List[int], roff: int, a: List[int], aoff: int,
+                  n: int, w: int) -> int:
+    """``r[roff:roff+n] += a[aoff:aoff+n] * w``; returns the carry word(s).
+
+    The returned carry may exceed one word only if inputs violate the 32-bit
+    invariant; with valid inputs it is a single word.
+    """
+    c = 0
+    for i in range(n):
+        t = a[aoff + i] * w + r[roff + i] + c
+        r[roff + i] = t & WORD_MASK
+        c = t >> WORD_BITS
+    return c
+
+
+def mul_words(r: List[int], roff: int, a: List[int], aoff: int,
+              n: int, w: int) -> int:
+    """``r[roff:roff+n] = a[aoff:aoff+n] * w``; returns the carry word."""
+    c = 0
+    for i in range(n):
+        t = a[aoff + i] * w + c
+        r[roff + i] = t & WORD_MASK
+        c = t >> WORD_BITS
+    return c
+
+
+def add_words(r: List[int], a: List[int], b: List[int], n: int) -> int:
+    """``r[:n] = a[:n] + b[:n]``; returns the final carry (0 or 1)."""
+    c = 0
+    for i in range(n):
+        t = a[i] + b[i] + c
+        r[i] = t & WORD_MASK
+        c = t >> WORD_BITS
+    return c
+
+
+def sub_words(r: List[int], a: List[int], b: List[int], n: int) -> int:
+    """``r[:n] = a[:n] - b[:n]``; returns the final borrow (0 or 1)."""
+    brw = 0
+    for i in range(n):
+        t = a[i] - b[i] - brw
+        if t < 0:
+            t += WORD_BASE
+            brw = 1
+        else:
+            brw = 0
+        r[i] = t
+    return brw
+
+
+def propagate_carry(r: List[int], start: int, carry: int) -> int:
+    """Add ``carry`` into ``r`` at ``start``, rippling upward.
+
+    Returns any carry that falls off the end of the array.
+    """
+    i = start
+    n = len(r)
+    while carry and i < n:
+        t = r[i] + carry
+        r[i] = t & WORD_MASK
+        carry = t >> WORD_BITS
+        i += 1
+    return carry
+
+
+def words_from_int(value: int, nwords: int | None = None) -> List[int]:
+    """Little-endian 32-bit words of ``value`` (padded to ``nwords`` if given)."""
+    if value < 0:
+        raise ValueError("bignum words are unsigned")
+    out: List[int] = []
+    while value:
+        out.append(value & WORD_MASK)
+        value >>= WORD_BITS
+    if nwords is not None:
+        if len(out) > nwords:
+            raise ValueError("value does not fit in requested word count")
+        out.extend([0] * (nwords - len(out)))
+    return out
+
+
+def int_from_words(words: List[int]) -> int:
+    value = 0
+    for w in reversed(words):
+        value = (value << WORD_BITS) | w
+    return value

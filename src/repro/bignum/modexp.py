@@ -1,0 +1,86 @@
+"""Sliding-window Montgomery modular exponentiation (``BN_mod_exp_mont``).
+
+This is "step 4: RSA computation" of Table 7 -- 97-99% of an RSA private
+operation.  The implementation mirrors OpenSSL's: a window size chosen from
+the exponent length, a table of odd powers in Montgomery form, and a
+square-and-multiply scan of the exponent.
+"""
+
+from __future__ import annotations
+
+from ..perf import charge, mix
+from .bn import BigNum
+from .montgomery import MontgomeryContext
+
+#: Per-exponent-bit scan overhead in BN_mod_exp_mont (bit extraction, window
+#: assembly, branches) -- small next to the Montgomery multiplications.
+EXP_BIT_SCAN = mix(movl=3, shrl=1, andl=1, cmpl=1, jnz=1)
+
+
+def window_bits_for_exponent_size(bits: int) -> int:
+    """OpenSSL's ``BN_window_bits_for_exponent_size`` thresholds."""
+    if bits > 671:
+        return 6
+    if bits > 239:
+        return 5
+    if bits > 79:
+        return 4
+    if bits > 23:
+        return 3
+    return 1
+
+
+def mod_exp(base: BigNum, exponent: BigNum, modulus: BigNum,
+            mont: MontgomeryContext | None = None) -> BigNum:
+    """``base ** exponent mod modulus`` for an odd modulus.
+
+    A precomputed :class:`MontgomeryContext` for ``modulus`` may be supplied
+    (RSA keys cache one per prime); otherwise one is built on the fly.
+    """
+    if modulus.is_zero() or not modulus.is_odd():
+        raise ValueError("mod_exp requires an odd modulus")
+    if mont is None:
+        mont = MontgomeryContext(modulus)
+    elif mont.n != modulus:
+        raise ValueError("Montgomery context does not match modulus")
+
+    bits = exponent.nbits()
+    if bits == 0:
+        return BigNum.one().mod(modulus)
+
+    wsize = window_bits_for_exponent_size(bits)
+    charge(EXP_BIT_SCAN, times=bits, function="BN_mod_exp_mont")
+
+    # Precompute odd powers: table[i] = base^(2i+1) in Montgomery form.
+    table = [mont.to_mont(base)]
+    if wsize > 1:
+        base_sq = mont.sqr(table[0])
+        for _ in range(1, 1 << (wsize - 1)):
+            table.append(mont.mul(table[-1], base_sq))
+
+    acc = mont.one()
+    started = False  # skip leading squarings of 1
+    i = bits - 1
+    while i >= 0:
+        if exponent.bit(i) == 0:
+            if started:
+                acc = mont.sqr(acc)
+            i -= 1
+            continue
+        # Take the longest window [j..i] that starts and ends with a set bit.
+        j = max(i - wsize + 1, 0)
+        while exponent.bit(j) == 0:
+            j += 1
+        value = 0
+        for k in range(i, j - 1, -1):
+            value = (value << 1) | exponent.bit(k)
+        if started:
+            for _ in range(i - j + 1):
+                acc = mont.sqr(acc)
+            acc = mont.mul(acc, table[(value - 1) >> 1])
+        else:
+            acc = table[(value - 1) >> 1]
+            started = True
+        i = j - 1
+
+    return mont.from_mont(acc)

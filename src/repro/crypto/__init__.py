@@ -1,0 +1,28 @@
+"""Cryptographic primitives (OpenSSL ``libcrypto`` equivalent).
+
+Every algorithm the paper studies -- RSA, AES, DES, 3DES, RC4, MD5, SHA-1 --
+implemented from scratch, bit-exact against published test vectors, and
+instrumented with the analytic x86 cost model of :mod:`repro.perf`.
+"""
+
+from .aes import AES
+from .des import DES, TripleDES
+from .dh import DhError, DhKeyPair, DhParams
+from .mac import hmac, ssl3_mac
+from .md5 import MD5
+from .modes import CBC, cbc_decrypt, cbc_encrypt
+from .pkcs1 import Pkcs1Error
+from .rand import PseudoRandom, rand_pseudo_bytes, reseed
+from .rc4 import RC4
+from .rsa import RsaError, RsaPrivateKey, RsaPublicKey, generate_key
+from .sha1 import SHA1
+from .sha256 import SHA256
+
+__all__ = [
+    "AES", "DES", "TripleDES", "RC4",
+    "DhError", "DhKeyPair", "DhParams",
+    "MD5", "SHA1", "SHA256", "hmac", "ssl3_mac",
+    "CBC", "cbc_decrypt", "cbc_encrypt",
+    "Pkcs1Error", "PseudoRandom", "rand_pseudo_bytes", "reseed",
+    "RsaError", "RsaPrivateKey", "RsaPublicKey", "generate_key",
+]

@@ -1,0 +1,100 @@
+"""Diffie-Hellman key agreement (the paper's other asymmetric primitive).
+
+Section 2: "Asymmetric encryption algorithms like RSA and Diffie-Hellman
+are used in the handshake phase to exchange secret keys."  The paper's
+measured cipher suite uses RSA key transport, which is why its Table 2
+skips the ServerKeyExchange step; this module supplies the DH substrate so
+the DHE-RSA suites can exercise that step and the ablation benchmarks can
+price it.
+
+The arithmetic runs on the instrumented bignum stack, so DH operations
+appear in profiles as the same ``bn_mul_add_words``-dominated modular
+exponentiations as RSA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import perf
+from ..bignum import BigNum, MontgomeryContext, mod_exp
+from .rand import PseudoRandom
+
+#: RFC 2409 (IKE) Oakley Group 2: the classic 1024-bit MODP group with
+#: generator 2 -- a safe prime widely shipped in the paper's era.
+OAKLEY_GROUP2_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF",
+    16)
+OAKLEY_GROUP2_G = 2
+
+
+class DhError(ValueError):
+    """Invalid Diffie-Hellman parameters or public values."""
+
+
+@dataclass(frozen=True)
+class DhParams:
+    """A (p, g) group."""
+
+    p: BigNum
+    g: BigNum
+
+    def __post_init__(self) -> None:
+        if self.p.nbits() < 256:
+            raise DhError("modulus too small to be meaningful")
+        if not self.p.is_odd():
+            raise DhError("modulus must be odd")
+        g = self.g.to_int()
+        if not 2 <= g < self.p.to_int() - 1:
+            raise DhError("generator out of range")
+
+    @classmethod
+    def oakley_group2(cls) -> "DhParams":
+        return cls(p=BigNum.from_int(OAKLEY_GROUP2_P),
+                   g=BigNum.from_int(OAKLEY_GROUP2_G))
+
+    def validate_public(self, y: BigNum) -> None:
+        """Reject degenerate peer values (1, 0, p-1, out of range)."""
+        yi = y.to_int()
+        if not 2 <= yi <= self.p.to_int() - 2:
+            raise DhError("peer public value out of range")
+
+
+class DhKeyPair:
+    """An ephemeral DH key pair over ``params``.
+
+    ``exponent_bits`` bounds the private exponent; 256 bits is standard
+    practice for a 1024-bit safe-prime group (and keeps the two server
+    exponentiations comparable to one CRT RSA operation -- quantified by
+    the DHE ablation benchmark).
+    """
+
+    def __init__(self, params: DhParams, rng: Optional[PseudoRandom] = None,
+                 exponent_bits: int = 256,
+                 mont: Optional[MontgomeryContext] = None):
+        if exponent_bits < 128:
+            raise DhError("private exponent too short")
+        if rng is None:
+            rng = PseudoRandom(b"dh-ephemeral")
+        self.params = params
+        self._mont = mont if mont is not None else MontgomeryContext(
+            params.p)
+        with perf.region("dh_generate_key"):
+            self._x = BigNum.from_int(rng.odd_int(exponent_bits))
+            self.public = mod_exp(params.g, self._x, params.p, self._mont)
+        if self.public.to_int() < 2:
+            raise DhError("degenerate public value; retry with fresh rng")
+
+    def compute_shared(self, peer_public: BigNum) -> bytes:
+        """The shared secret ``Z = peer^x mod p``, big-endian, no leading
+        zeros (the SSL pre-master convention for DH)."""
+        self.params.validate_public(peer_public)
+        with perf.region("dh_compute_key"):
+            z = mod_exp(peer_public, self._x, self.params.p, self._mont)
+        if z.to_int() < 2:
+            raise DhError("degenerate shared secret")
+        return z.to_bytes()

@@ -1,0 +1,97 @@
+"""PKCS #1 v1.5 block formatting (RFC 2313 / the PKCS #1 the paper cites).
+
+Table 7's step 6 ("block parsing") is the recovery of the plaintext from the
+decrypted block: the client padded the 48-byte pre-master secret into
+``00 || 02 || nonzero-random PS || 00 || M`` before encrypting with the
+server's public key, and the server must validate and strip that format.
+Signatures use the type-1 block ``00 || 01 || FF..FF || 00 || DigestInfo``.
+"""
+
+from __future__ import annotations
+
+from ..perf import charge, mix
+from .rand import PseudoRandom
+
+#: Fixed per-call cost of RSA_padding_check/add: buffer allocation, length
+#: checks, the memcpy of the recovered payload, error-queue bookkeeping.
+PADDING_CALL = mix(movl=60, movb=30, addl=12, cmpl=16, jnz=16, pushl=6,
+                   popl=6, call=4, ret=4, xorl=4)
+
+#: Scanning/producing one padding byte.
+PADDING_BYTE = mix(movb=1, cmpl=1, jnz=0.5, incl=1)
+
+
+class Pkcs1Error(ValueError):
+    """Malformed PKCS #1 block."""
+
+
+def pad_encrypt(message: bytes, k: int, rng: PseudoRandom) -> bytes:
+    """EME-PKCS1-v1_5 encoding (block type 2) to ``k`` bytes."""
+    if len(message) > k - 11:
+        raise Pkcs1Error(f"message too long for {k}-byte modulus")
+    ps_len = k - 3 - len(message)
+    ps = bytearray()
+    while len(ps) < ps_len:
+        ps += bytes(b for b in rng.bytes(ps_len - len(ps)) if b != 0)
+    charge(PADDING_CALL, function="block_parsing")
+    charge(PADDING_BYTE, times=k, function="block_parsing")
+    return b"\x00\x02" + bytes(ps) + b"\x00" + message
+
+
+def unpad_decrypt(block: bytes, k: int) -> bytes:
+    """EME-PKCS1-v1_5 decoding; raises :class:`Pkcs1Error` on bad format."""
+    charge(PADDING_CALL, function="block_parsing")
+    charge(PADDING_BYTE, times=k, function="block_parsing")
+    if len(block) != k:
+        raise Pkcs1Error("block length mismatch")
+    if block[0] != 0x00 or block[1] != 0x02:
+        raise Pkcs1Error("bad block type")
+    try:
+        sep = block.index(0x00, 2)
+    except ValueError:
+        raise Pkcs1Error("no padding separator") from None
+    if sep < 10:  # at least 8 bytes of PS
+        raise Pkcs1Error("padding string too short")
+    return block[sep + 1:]
+
+
+def pad_sign(payload: bytes, k: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding (block type 1)."""
+    if len(payload) > k - 11:
+        raise Pkcs1Error(f"payload too long for {k}-byte modulus")
+    ps = b"\xff" * (k - 3 - len(payload))
+    charge(PADDING_CALL, function="block_parsing")
+    charge(PADDING_BYTE, times=k, function="block_parsing")
+    return b"\x00\x01" + ps + b"\x00" + payload
+
+
+def unpad_verify(block: bytes, k: int) -> bytes:
+    """EMSA-PKCS1-v1_5 decoding; raises :class:`Pkcs1Error` on bad format."""
+    charge(PADDING_CALL, function="block_parsing")
+    charge(PADDING_BYTE, times=k, function="block_parsing")
+    if len(block) != k:
+        raise Pkcs1Error("block length mismatch")
+    if block[0] != 0x00 or block[1] != 0x01:
+        raise Pkcs1Error("bad block type")
+    i = 2
+    while i < len(block) and block[i] == 0xFF:
+        i += 1
+    if i < 10 or i >= len(block) or block[i] != 0x00:
+        raise Pkcs1Error("bad signature padding")
+    return block[i + 1:]
+
+
+#: DER DigestInfo prefixes (hash OID + encoding) for signature payloads.
+DIGEST_INFO_PREFIX = {
+    "md5": bytes.fromhex("3020300c06082a864886f70d020505000410"),
+    "sha1": bytes.fromhex("3021300906052b0e03021a05000414"),
+}
+
+
+def digest_info(hash_name: str, digest: bytes) -> bytes:
+    """Wrap a raw digest in its DER DigestInfo structure."""
+    try:
+        prefix = DIGEST_INFO_PREFIX[hash_name]
+    except KeyError:
+        raise Pkcs1Error(f"unsupported hash for signing: {hash_name}") from None
+    return prefix + digest

@@ -1,0 +1,65 @@
+"""Prime generation for RSA key construction.
+
+Key generation is *not* one of the paper's measured operations (the server's
+key pair exists before any measured transaction), so this module runs on
+native Python integers for speed and charges a single modelled cost under
+``BN_generate_prime``.  The generated primes feed the fully instrumented
+:mod:`repro.crypto.rsa` path, which is what the paper profiles.
+"""
+
+from __future__ import annotations
+
+from ..perf import charge, mix
+from .rand import PseudoRandom
+
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                 53, 59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107,
+                 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173]
+
+#: Nominal modelled cost per generated prime (trial division + Miller-Rabin
+#: exponentiations happen off the instrumented path).
+PRIME_GEN = mix(movl=400, mull=120, addl=120, adcl=60, cmpl=80, jnz=80,
+                shrl=40, pushl=10, popl=10, call=6, ret=6)
+
+
+def is_probable_prime(n: int, rng: PseudoRandom, rounds: int = 24) -> bool:
+    """Miller-Rabin primality test with trial division pre-filter."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = 2 + rng.int_below(n - 3)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: PseudoRandom) -> int:
+    """A random probable prime with exactly ``bits`` bits.
+
+    The top two bits are forced high so that the product of two such primes
+    has exactly ``2*bits`` bits, as RSA key generation requires.
+    """
+    if bits < 16:
+        raise ValueError("refusing to generate primes below 16 bits")
+    while True:
+        candidate = rng.odd_int(bits)
+        if is_probable_prime(candidate, rng):
+            charge(PRIME_GEN, function="BN_generate_prime")
+            return candidate

@@ -1,0 +1,152 @@
+"""SHA-256 (FIPS 180-2), instrumented.
+
+The paper cites FIPS 180-2 for SHA-1; the same standard introduced the
+SHA-2 family that eventually displaced both MD5 and SHA-1 in TLS.  SHA-256
+is included as a forward-looking comparison point: the characteristics
+benchmark can show what the successor hash would have cost on the paper's
+Pentium 4 (64 steps of heavier per-step work than SHA-1's 80 light ones,
+plus a more expensive message schedule).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..perf import charge, mix
+
+_MASK = 0xFFFFFFFF
+
+#: Round constants: fractional parts of cube roots of the first 64 primes.
+_K = (
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5,
+    0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3,
+    0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5,
+    0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+)
+
+# ---------------------------------------------------------------------------
+# Instruction mixes.  Derivation: 64 steps, each with two sigma functions
+# (3 rotates + 2-3 xors each), Ch and Maj (3-4 logicals), ~4 additions;
+# schedule expansion for 48 words with two more sigma functions each.  On
+# 32-bit x86 this lands near 40 instructions/byte -- much heavier than
+# SHA-1's 24 (the successor bought security with cycles).
+# ---------------------------------------------------------------------------
+
+SHA256_BLOCK = mix(
+    movl=16 + 64 * 3.4 + 48 * 2.5 + 18,   # 371.6: loads, W traffic, spills
+    bswap=16,
+    xorl=64 * 4.5 + 48 * 4,               # 480: sigmas, Ch via xor trick
+    rorl=64 * 6 + 48 * 4,                 # 576: six rotates/step + schedule
+    shrl=48 * 2 + 64 * 0.5,               # 128: sigma shift terms
+    addl=64 * 4.5 + 48 * 2,               # 384
+    leal=64 * 0.8,                        # 51.2
+    andl=64 * 1.6,                        # 102.4: Ch/Maj masking
+    orl=64 * 0.4,
+    movb=30,
+    pushl=6, popl=6, call=1, ret=1, cmpl=2, jnz=2,
+)
+
+SHA256_INIT = mix(movl=18, xorl=2, pushl=1, popl=1, call=1, ret=1)
+SHA256_UPDATE_CALL = mix(movl=14, addl=4, adcl=1, cmpl=3, jnz=3, shrl=2,
+                         andl=2, pushl=3, popl=3, call=1, ret=1)
+SHA256_FINAL = mix(movl=26, movb=10, bswap=8, addl=4, shrl=4, andl=3,
+                   cmpl=3, jnz=3, pushl=3, popl=3, call=2, ret=2)
+
+#: Like SHA-1, the schedule provides parallel work; the longer per-step
+#: dependency chain (two sigmas feed the adds) leaves a bit more stall.
+SHA256_STALL = 1.18
+
+
+def _rotr(x: int, n: int) -> int:
+    return ((x >> n) | (x << (32 - n))) & _MASK
+
+
+def _compress(state: tuple, block: bytes) -> tuple:
+    w = list(struct.unpack(">16I", block))
+    for i in range(16, 64):
+        s0 = _rotr(w[i - 15], 7) ^ _rotr(w[i - 15], 18) ^ (w[i - 15] >> 3)
+        s1 = _rotr(w[i - 2], 17) ^ _rotr(w[i - 2], 19) ^ (w[i - 2] >> 10)
+        w.append((w[i - 16] + s0 + w[i - 7] + s1) & _MASK)
+    a, b, c, d, e, f, g, h = state
+    for i in range(64):
+        s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
+        ch = (e & f) ^ ((~e & _MASK) & g)
+        t1 = (h + s1 + ch + _K[i] + w[i]) & _MASK
+        s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
+        maj = (a & b) ^ (a & c) ^ (b & c)
+        t2 = (s0 + maj) & _MASK
+        h, g, f, e, d, c, b, a = (g, f, e, (d + t1) & _MASK, c, b, a,
+                                  (t1 + t2) & _MASK)
+    return tuple((s + v) & _MASK for s, v in zip(
+        state, (a, b, c, d, e, f, g, h)))
+
+
+class SHA256:
+    """Incremental SHA-256 with the standard init/update/final API."""
+
+    digest_size = 32
+    block_size = 64
+    name = "sha256"
+
+    _IV = (0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+           0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19)
+
+    def __init__(self, data: bytes = b""):
+        self._state = self._IV
+        self._buffer = b""
+        self._length = 0
+        charge(SHA256_INIT, function="SHA256_Init")
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError("SHA256.update requires bytes-like data")
+        data = bytes(data)
+        charge(SHA256_UPDATE_CALL, function="SHA256_Update")
+        self._length += len(data)
+        buf = self._buffer + data
+        nblocks = len(buf) // 64
+        if nblocks:
+            state = self._state
+            for i in range(nblocks):
+                state = _compress(state, buf[i * 64:(i + 1) * 64])
+            self._state = state
+            charge(SHA256_BLOCK, times=nblocks, function="SHA256_Update",
+                   stall=SHA256_STALL)
+        self._buffer = buf[nblocks * 64:]
+
+    def copy(self) -> "SHA256":
+        clone = SHA256.__new__(SHA256)
+        clone._state = self._state
+        clone._buffer = self._buffer
+        clone._length = self._length
+        charge(SHA256_INIT, function="SHA256_Init")
+        return clone
+
+    def digest(self) -> bytes:
+        charge(SHA256_FINAL, function="SHA256_Final")
+        bitlen = self._length * 8
+        pad = b"\x80" + b"\x00" * ((55 - self._length) % 64)
+        tail = self._buffer + pad + struct.pack(">Q", bitlen & (2**64 - 1))
+        state = self._state
+        for i in range(len(tail) // 64):
+            state = _compress(state, tail[i * 64:(i + 1) * 64])
+        charge(SHA256_BLOCK, times=len(tail) // 64,
+               function="SHA256_Final", stall=SHA256_STALL)
+        return struct.pack(">8I", *state)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()

@@ -1,0 +1,22 @@
+"""Small shared crypto utilities."""
+
+from __future__ import annotations
+
+from ..perf import charge, mix
+
+#: Constant-time comparison: one pass over both buffers regardless of
+#: where they differ (the discipline the Brumley-Boneh attack the paper
+#: cites taught implementations to adopt for MAC/padding checks).
+CT_COMPARE_BYTE = mix(movb=2, xorl=1, orl=1, incl=1, cmpl=0.5, jnz=0.5)
+
+
+def ct_equal(a: bytes, b: bytes) -> bool:
+    """Compare byte strings in constant time (length leaks, content not)."""
+    charge(CT_COMPARE_BYTE, times=max(len(a), len(b), 1),
+           function="CRYPTO_memcmp")
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0

@@ -1,0 +1,32 @@
+"""Hardware-acceleration models for Section 6.2's proposals.
+
+The paper closes by sketching three acceleration tiers: ISA support
+(3-operand logical instructions for the hash kernels), hardware units (an
+AES round unit performing the sixteen table lookups in parallel), and
+asynchronous crypto engines with parallel cipher+MAC pipelines.  These
+models quantify each proposal against the instrumented software baselines.
+"""
+
+from .aes_unit import AesUnitDesign, AesUnitEstimate, estimate as \
+    aes_unit_estimate, software_block_cycles, throughput_mbps
+from .crypto_engine import (
+    EngineDesign, EngineSimulator, FragmentLatency, SimOutcome,
+    SoftwareCosts, fragment_latency,
+)
+from .hash_unit import HashUnitDesign, HashUnitEstimate, SERIAL_STEPS
+from .hash_unit import estimate as hash_unit_estimate
+from .isa_ext import (
+    IsaExtensionEstimate, IsaExtensionParams, KERNEL_PARAMS,
+    estimate as isa_estimate, transform_mix,
+)
+
+__all__ = [
+    "AesUnitDesign", "AesUnitEstimate", "aes_unit_estimate",
+    "software_block_cycles", "throughput_mbps",
+    "EngineDesign", "EngineSimulator", "FragmentLatency", "SimOutcome",
+    "SoftwareCosts", "fragment_latency",
+    "HashUnitDesign", "HashUnitEstimate", "SERIAL_STEPS",
+    "hash_unit_estimate",
+    "IsaExtensionEstimate", "IsaExtensionParams", "KERNEL_PARAMS",
+    "isa_estimate", "transform_mix",
+]

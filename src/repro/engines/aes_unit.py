@@ -1,0 +1,91 @@
+"""Hardware AES round unit model (Section 6.2.2, Figure 5).
+
+The paper proposes a functional unit that performs one full AES round --
+sixteen table lookups, the XOR tree and the round-key addition -- as a
+single operation, exploiting the fact that a round's four basic operations
+"have no dependency on each other, therefore can be performed in parallel
+completely", and that the unit "can be extended to perform all rounds and
+return the final four outputs".
+
+The model compares three design points for one 16-byte block:
+
+* **software**: the instrumented table-based implementation's cycles;
+* **round unit**: a new instruction per round -- issue overhead plus the
+  unit's pipelined round latency, state still shuttles through registers;
+* **block unit**: the extended all-rounds unit -- one dispatch, rounds
+  chained inside the unit at its round latency, no per-round ISA traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import aes
+from ..perf import CpuModel, PENTIUM4
+
+
+@dataclass(frozen=True)
+class AesUnitDesign:
+    """Hardware parameters of the proposed unit."""
+
+    #: Cycles for the unit to produce a round's four output words.  Four
+    #: parallel SRAM lookups + XOR tree: a few cycles at P4-class clocks.
+    round_latency: float = 3.0
+    #: Instruction-issue + operand-setup cycles for each new instruction.
+    issue_overhead: float = 2.0
+    #: One-time dispatch/result-readback cycles for the all-rounds unit.
+    block_dispatch: float = 10.0
+
+
+@dataclass
+class AesUnitEstimate:
+    key_bits: int
+    software_cycles: float
+    round_unit_cycles: float
+    block_unit_cycles: float
+
+    @property
+    def round_unit_speedup(self) -> float:
+        return self.software_cycles / self.round_unit_cycles
+
+    @property
+    def block_unit_speedup(self) -> float:
+        return self.software_cycles / self.block_unit_cycles
+
+
+def software_block_cycles(key_bits: int, cpu: CpuModel = PENTIUM4) -> float:
+    """Cycles of one software AES block op (matches Table 5's structure)."""
+    rounds = {128: 10, 192: 12, 256: 14}[key_bits]
+    return (cpu.cycles(aes.AES_INIT, aes.AES_STALL)
+            + cpu.cycles(aes.AES_ROUND, aes.AES_STALL) * (rounds - 1)
+            + cpu.cycles(aes.AES_FINAL, aes.AES_STALL))
+
+
+def estimate(key_bits: int = 128,
+             design: AesUnitDesign = AesUnitDesign(),
+             cpu: CpuModel = PENTIUM4) -> AesUnitEstimate:
+    """Compare software vs round-unit vs block-unit for one block."""
+    if key_bits not in (128, 192, 256):
+        raise ValueError("AES key size must be 128, 192 or 256 bits")
+    rounds = {128: 10, 192: 12, 256: 14}[key_bits]
+    software = software_block_cycles(key_bits, cpu)
+    # Round unit: state load + initial ARK still in software (~init phase),
+    # then one instruction per round; final store.
+    sw_init = cpu.cycles(aes.AES_INIT, aes.AES_STALL)
+    sw_store = 8.0  # four result stores, pipelined
+    round_unit = (sw_init
+                  + rounds * (design.issue_overhead + design.round_latency)
+                  + sw_store)
+    # Block unit: one dispatch; rounds chain internally.
+    block_unit = (design.block_dispatch + rounds * design.round_latency
+                  + sw_store)
+    return AesUnitEstimate(key_bits=key_bits, software_cycles=software,
+                           round_unit_cycles=round_unit,
+                           block_unit_cycles=block_unit)
+
+
+def throughput_mbps(block_cycles: float, cpu: CpuModel = PENTIUM4) -> float:
+    """MB/s for back-to-back 16-byte blocks at the given per-block cost."""
+    if block_cycles <= 0:
+        raise ValueError("block cycles must be positive")
+    return 16.0 / (block_cycles / cpu.frequency_hz) / 1e6

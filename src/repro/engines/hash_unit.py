@@ -1,0 +1,78 @@
+"""Hardware hash-unit model (the "hashing unit" of Figure 6).
+
+The crypto engine of Section 6.2.3 contains a hashing unit alongside the
+AES unit.  This model prices that unit standalone, symmetric with
+:mod:`repro.engines.aes_unit`: a block-at-a-time MD5/SHA-1 datapath that
+retires one 64-byte block in a fixed number of cycles (bounded below by
+the algorithms' 64/80 serial steps -- the hash chain cannot be
+parallelized away, only pipelined across *independent* messages, which is
+exactly what the engine's multi-session bulk phase provides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import repro.crypto.md5 as md5_mod
+import repro.crypto.sha1 as sha1_mod
+from ..perf import CpuModel, PENTIUM4
+
+#: Software cycles per 64-byte block, from the instrumented kernels.
+_SOFTWARE = {
+    "md5": (md5_mod.MD5_BLOCK, md5_mod.MD5_STALL),
+    "sha1": (sha1_mod.SHA1_BLOCK, sha1_mod.SHA1_STALL),
+}
+
+#: Serial steps per block: the lower bound a single-message hash unit
+#: cannot beat (one step's result feeds the next).
+SERIAL_STEPS = {"md5": 64, "sha1": 80}
+
+
+@dataclass(frozen=True)
+class HashUnitDesign:
+    """Hardware parameters of the hash unit."""
+
+    #: Cycles per compression-function step (1 = one step per clock).
+    cycles_per_step: float = 1.0
+    #: Fixed per-block overhead (message load, state writeback).
+    block_overhead: float = 8.0
+    #: Independent messages interleaved in the pipelined datapath.
+    pipeline_depth: int = 1
+
+
+@dataclass
+class HashUnitEstimate:
+    algorithm: str
+    software_cycles_per_block: float
+    unit_cycles_per_block: float
+
+    @property
+    def speedup(self) -> float:
+        return self.software_cycles_per_block / self.unit_cycles_per_block
+
+    def throughput_mbps(self, cpu: CpuModel = PENTIUM4) -> float:
+        return 64.0 / (self.unit_cycles_per_block / cpu.frequency_hz) / 1e6
+
+
+def estimate(algorithm: str = "sha1",
+             design: HashUnitDesign = HashUnitDesign(),
+             cpu: CpuModel = PENTIUM4) -> HashUnitEstimate:
+    """Compare the software block against the hardware unit.
+
+    With ``pipeline_depth`` independent messages, the per-message block
+    cost amortizes: the serial chain constrains a *single* message, not
+    the datapath.
+    """
+    if algorithm not in _SOFTWARE:
+        raise KeyError(f"unknown hash {algorithm!r}; "
+                       f"choose from {sorted(_SOFTWARE)}")
+    if design.pipeline_depth < 1:
+        raise ValueError("pipeline depth must be at least 1")
+    m, stall = _SOFTWARE[algorithm]
+    software = cpu.cycles(m, stall)
+    steps = SERIAL_STEPS[algorithm]
+    per_message = (steps * design.cycles_per_step + design.block_overhead)
+    unit = per_message / design.pipeline_depth
+    return HashUnitEstimate(algorithm=algorithm,
+                            software_cycles_per_block=software,
+                            unit_cycles_per_block=unit)

@@ -1,0 +1,27 @@
+"""IPsec ESP substrate (the paper's network-layer sibling of SSL).
+
+"Although SSL/TLS protocol and IPSEC are situated in different layers
+(session and network layer respectively), they have common components for
+security issues" -- this package runs those common components (the same
+instrumented ciphers and HMAC kernels) through the ESP packet format so
+the two protections can be compared on equal footing.
+"""
+
+from .esp import decapsulate, encapsulate
+from .sa import (
+    ALL_ESP_SUITES, ESP_3DES_SHA1, ESP_AES128_MD5, ESP_AES128_SHA1,
+    ESP_AES256_SHA1, ESP_NULL_SHA1, EspSuite, IpsecError, ReplayError,
+    ReplayWindow, SecurityAssociation,
+)
+from .tunnel import (
+    TunnelEndpoint, derive_keys, establish_tunnel, rekey_endpoint,
+)
+
+__all__ = [
+    "decapsulate", "encapsulate",
+    "ALL_ESP_SUITES", "ESP_3DES_SHA1", "ESP_AES128_MD5", "ESP_AES128_SHA1",
+    "ESP_AES256_SHA1", "ESP_NULL_SHA1", "EspSuite", "IpsecError",
+    "ReplayError", "ReplayWindow", "SecurityAssociation",
+    "TunnelEndpoint", "derive_keys", "establish_tunnel",
+    "rekey_endpoint",
+]

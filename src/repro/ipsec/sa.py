@@ -1,0 +1,152 @@
+"""IPsec security associations and the anti-replay window.
+
+The paper's introduction places IPsec beside SSL/TLS: "Although SSL/TLS
+protocol and IPSEC are situated in different layers (session and network
+layer respectively), they have common components for security issues."
+This package supplies the network-layer counterpart so the common
+components -- the very same instrumented cipher and HMAC kernels -- can be
+compared across the two protocols (see ``bench_ssl_vs_ipsec.py``).
+
+A :class:`SecurityAssociation` is one direction of protection: an SPI, a
+cipher (CBC block cipher or none), an HMAC authenticator with 96-bit
+truncation, a send counter, and -- on the receive side -- the RFC 2401
+sliding anti-replay window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from ..crypto.aes import AES
+from ..crypto.des import TripleDES
+from ..crypto.mac import hmac
+from ..crypto.md5 import MD5
+from ..crypto.modes import CBC
+from ..crypto.sha1 import SHA1
+
+
+class IpsecError(ValueError):
+    """ESP processing failure (authentication, replay, format)."""
+
+
+class ReplayError(IpsecError):
+    """Sequence number rejected by the anti-replay window."""
+
+
+@dataclass(frozen=True)
+class EspSuite:
+    """Cipher + authenticator combination for an SA."""
+
+    name: str
+    cipher: str          # "3des" | "aes128" | "aes256" | "null"
+    auth: str            # "hmac-sha1-96" | "hmac-md5-96"
+
+    @property
+    def key_len(self) -> int:
+        return {"3des": 24, "aes128": 16, "aes256": 32, "null": 0}[
+            self.cipher]
+
+    @property
+    def iv_len(self) -> int:
+        return {"3des": 8, "aes128": 16, "aes256": 16, "null": 0}[
+            self.cipher]
+
+    @property
+    def block_size(self) -> int:
+        return {"3des": 8, "aes128": 16, "aes256": 16, "null": 4}[
+            self.cipher]
+
+    @property
+    def auth_key_len(self) -> int:
+        return 20 if "sha1" in self.auth else 16
+
+    @property
+    def icv_len(self) -> int:
+        return 12  # both HMAC variants truncate to 96 bits
+
+    def hash_factory(self):
+        return SHA1 if "sha1" in self.auth else MD5
+
+    def new_cipher(self, key: bytes, iv: bytes) -> Optional[CBC]:
+        if self.cipher == "null":
+            return None
+        if len(key) != self.key_len or len(iv) != self.iv_len:
+            raise IpsecError(f"{self.name}: bad key/IV length")
+        if self.cipher == "3des":
+            return CBC(TripleDES(key), iv)
+        return CBC(AES(key), iv)
+
+
+ESP_3DES_SHA1 = EspSuite("esp-3des-hmac-sha1-96", "3des", "hmac-sha1-96")
+ESP_AES128_SHA1 = EspSuite("esp-aes128-hmac-sha1-96", "aes128",
+                           "hmac-sha1-96")
+ESP_AES256_SHA1 = EspSuite("esp-aes256-hmac-sha1-96", "aes256",
+                           "hmac-sha1-96")
+ESP_AES128_MD5 = EspSuite("esp-aes128-hmac-md5-96", "aes128", "hmac-md5-96")
+ESP_NULL_SHA1 = EspSuite("esp-null-hmac-sha1-96", "null", "hmac-sha1-96")
+
+ALL_ESP_SUITES = (ESP_3DES_SHA1, ESP_AES128_SHA1, ESP_AES256_SHA1,
+                  ESP_AES128_MD5, ESP_NULL_SHA1)
+
+
+class ReplayWindow:
+    """RFC 2401 appendix C sliding anti-replay window."""
+
+    def __init__(self, size: int = 64):
+        if size < 32:
+            raise ValueError("window must be at least 32 (RFC 2401)")
+        self.size = size
+        self._top = 0          # highest sequence number accepted
+        self._bitmap = 0       # bit i => (top - i) seen
+
+    def check_and_update(self, seq: int) -> None:
+        """Accept ``seq`` or raise :class:`ReplayError`."""
+        if seq == 0:
+            raise ReplayError("ESP sequence numbers start at 1")
+        if seq > self._top:
+            shift = seq - self._top
+            self._bitmap = ((self._bitmap << shift) | 1) & \
+                ((1 << self.size) - 1)
+            self._top = seq
+            return
+        offset = self._top - seq
+        if offset >= self.size:
+            raise ReplayError(f"sequence {seq} below the replay window")
+        if self._bitmap & (1 << offset):
+            raise ReplayError(f"sequence {seq} replayed")
+        self._bitmap |= 1 << offset
+
+    @property
+    def top(self) -> int:
+        return self._top
+
+
+class SecurityAssociation:
+    """One direction of ESP protection."""
+
+    def __init__(self, spi: int, suite: EspSuite, cipher_key: bytes,
+                 auth_key: bytes, replay_window: int = 64):
+        if not 1 <= spi <= 0xFFFFFFFF:
+            raise IpsecError("SPI must be a non-zero 32-bit value")
+        if len(auth_key) != suite.auth_key_len:
+            raise IpsecError("bad authenticator key length")
+        if len(cipher_key) != suite.key_len:
+            raise IpsecError("bad cipher key length")
+        self.spi = spi
+        self.suite = suite
+        self.cipher_key = cipher_key
+        self.auth_key = auth_key
+        self.seq = 0                     # last sequence number sent
+        self.window = ReplayWindow(replay_window)
+
+    def next_seq(self) -> int:
+        if self.seq >= 0xFFFFFFFF:
+            raise IpsecError("sequence number exhausted; rekey the SA")
+        self.seq += 1
+        return self.seq
+
+    def icv(self, data: bytes) -> bytes:
+        """Truncated HMAC over SPI..ciphertext (RFC 2406 section 3.4.4)."""
+        return hmac(self.suite.hash_factory(), self.auth_key,
+                    data)[:self.suite.icv_len]

@@ -1,0 +1,104 @@
+"""A bidirectional ESP tunnel: SA pairs plus key derivation.
+
+Stands in for the IKE-established tunnel an IPsec gateway would run.  Key
+material is derived from a shared secret with the instrumented hash
+kernels (a simplified PRF+ -- IKE itself is out of scope), giving each
+direction independent cipher and authenticator keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..crypto.mac import hmac
+from ..crypto.rand import PseudoRandom
+from ..crypto.sha1 import SHA1
+from .esp import decapsulate, encapsulate
+from .sa import EspSuite, IpsecError, SecurityAssociation
+
+
+def derive_keys(shared_secret: bytes, label: bytes, length: int) -> bytes:
+    """HMAC-SHA1 counter-mode expansion (a simplified IKE PRF+)."""
+    out = bytearray()
+    counter = 1
+    while len(out) < length:
+        out += hmac(SHA1, shared_secret, label + bytes([counter]))
+        counter += 1
+    return bytes(out[:length])
+
+
+@dataclass
+class TunnelEndpoint:
+    """One end of the tunnel: an outbound and an inbound SA."""
+
+    outbound: SecurityAssociation
+    inbound: SecurityAssociation
+    rng: PseudoRandom
+
+    def protect(self, payload: bytes) -> bytes:
+        return encapsulate(self.outbound, payload, self.rng)
+
+    def unprotect(self, packet: bytes) -> bytes:
+        return decapsulate(self.inbound, packet)
+
+
+def rekey_endpoint(endpoint: TunnelEndpoint, shared_secret: bytes,
+                   generation: int) -> TunnelEndpoint:
+    """Fresh SAs for an existing endpoint (sequence-number exhaustion).
+
+    New SPIs and keys derive from the shared secret and a generation
+    counter; the replay windows reset with the new SAs, as RFC 2406
+    requires on rekey.
+    """
+    suite = endpoint.outbound.suite
+    per_dir = suite.key_len + suite.auth_key_len
+
+    def direction_sa(old_spi: int) -> SecurityAssociation:
+        # Key material is derived per-direction from the *old* SPI, so the
+        # two endpoints (whose outbound/inbound SPIs mirror each other)
+        # independently arrive at matching SAs.
+        label = (b"esp-rekey-" + generation.to_bytes(4, "big")
+                 + old_spi.to_bytes(4, "big"))
+        material = derive_keys(shared_secret, label, per_dir)
+        new_spi = (old_spi + 0x10000 * generation) & 0xFFFFFFFF
+        return SecurityAssociation(
+            spi=new_spi or 1, suite=suite,
+            cipher_key=material[:suite.key_len],
+            auth_key=material[suite.key_len:])
+
+    return TunnelEndpoint(
+        outbound=direction_sa(endpoint.outbound.spi),
+        inbound=direction_sa(endpoint.inbound.spi),
+        rng=endpoint.rng)
+
+
+def establish_tunnel(shared_secret: bytes, suite: EspSuite,
+                     spi_a: int = 0x1001, spi_b: int = 0x2002,
+                     seed: bytes = b"ipsec-tunnel",
+                     ) -> Tuple[TunnelEndpoint, TunnelEndpoint]:
+    """Build both endpoints of a tunnel from one shared secret.
+
+    Returns ``(initiator, responder)``; ``initiator.protect`` output is
+    readable by ``responder.unprotect`` and vice versa.
+    """
+    if not shared_secret:
+        raise IpsecError("empty shared secret")
+    per_dir = suite.key_len + suite.auth_key_len
+    material = derive_keys(shared_secret, b"esp-keys", 2 * per_dir)
+    a_keys, b_keys = material[:per_dir], material[per_dir:]
+
+    def make_sa(spi: int, keys: bytes) -> SecurityAssociation:
+        return SecurityAssociation(
+            spi=spi, suite=suite, cipher_key=keys[:suite.key_len],
+            auth_key=keys[suite.key_len:])
+
+    # Each direction needs an *independent* send SA and receive SA built
+    # from the same keys (the receive side tracks its own replay window).
+    initiator = TunnelEndpoint(outbound=make_sa(spi_a, a_keys),
+                               inbound=make_sa(spi_b, b_keys),
+                               rng=PseudoRandom(seed + b"-a"))
+    responder = TunnelEndpoint(outbound=make_sa(spi_b, b_keys),
+                               inbound=make_sa(spi_a, a_keys),
+                               rng=PseudoRandom(seed + b"-b"))
+    return initiator, responder

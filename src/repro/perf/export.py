@@ -1,0 +1,109 @@
+"""Profile exporters: render a :class:`~repro.perf.profiler.Profiler` as
+plain text, Markdown or CSV.
+
+The benchmarks print fixed-format tables; these exporters serve downstream
+users who want to post-process a profile -- e.g. diff two runs, feed a
+spreadsheet, or embed a report in documentation.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, Tuple
+
+from .profiler import Profiler, RegionNode
+from .report import format_table
+
+
+def region_tree_text(profiler: Profiler, max_depth: int = 4,
+                     min_share: float = 0.002) -> str:
+    """An indented cycle tree of the profiler's regions.
+
+    Nodes below ``min_share`` of the total are folded into their parent to
+    keep reports readable.
+    """
+    total = profiler.total_cycles() or 1.0
+    lines: List[str] = []
+
+    def walk(node: RegionNode, depth: int) -> None:
+        if depth > max_depth:
+            return
+        inclusive = node.inclusive_cycles()
+        if node.parent is not None:
+            if inclusive / total < min_share:
+                return
+            indent = "  " * (depth - 1)
+            lines.append(f"{indent}{node.name:<30s} "
+                         f"{inclusive / 1e3:12,.1f}k  "
+                         f"{100 * inclusive / total:5.1f}%")
+        for child in sorted(node.children.values(),
+                            key=lambda c: -c.inclusive_cycles()):
+            walk(child, depth + 1)
+
+    walk(profiler.root, 0)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def functions_csv(profiler: Profiler, top: Optional[int] = None) -> str:
+    """Flat function profile as CSV (function, module, calls, cycles,
+    instructions, share)."""
+    out = io.StringIO()
+    out.write("function,module,calls,cycles,instructions,share\n")
+    total = profiler.total_cycles() or 1.0
+    rows = sorted(profiler.functions.values(), key=lambda f: -f.cycles)
+    if top is not None:
+        rows = rows[:top]
+    for fs in rows:
+        name = fs.name.replace(",", ";")
+        out.write(f"{name},{fs.module},{fs.calls},{fs.cycles:.0f},"
+                  f"{fs.instructions():.0f},{fs.cycles / total:.6f}\n")
+    return out.getvalue()
+
+
+def modules_markdown(profiler: Profiler) -> str:
+    """Module breakdown as a Markdown table (Table 1 style)."""
+    lines = ["| module | cycles | share |", "|---|---|---|"]
+    for name, cycles, share in profiler.module_breakdown():
+        lines.append(f"| {name} | {cycles:,.0f} | {100 * share:.2f}% |")
+    return "\n".join(lines) + "\n"
+
+
+def instruction_mix_csv(profiler: Profiler) -> str:
+    """Aggregate dynamic instruction mix as CSV (mnemonic, count, share)."""
+    mix = profiler.global_mix.snapshot()
+    total = mix.total() or 1.0
+    out = io.StringIO()
+    out.write("mnemonic,count,share\n")
+    for name, count in sorted(mix.counts.items(), key=lambda kv: -kv[1]):
+        out.write(f"{name},{count:.1f},{count / total:.6f}\n")
+    return out.getvalue()
+
+
+def compare_profiles(a: Profiler, b: Profiler, label_a: str = "A",
+                     label_b: str = "B",
+                     top: int = 12) -> str:
+    """Side-by-side function comparison of two profiles.
+
+    Useful for ablations: run the same workload under two configurations
+    and see which functions moved.
+    """
+    names = set(a.functions) | set(b.functions)
+
+    def cycles(p: Profiler, name: str) -> float:
+        fs = p.functions.get(name)
+        return fs.cycles if fs else 0.0
+
+    rows: List[Tuple[str, float, float, str]] = []
+    for name in names:
+        ca, cb = cycles(a, name), cycles(b, name)
+        if ca == 0 and cb == 0:
+            continue
+        if ca and cb:
+            delta = f"{(cb - ca) / ca * 100:+.1f}%"
+        else:
+            delta = "new" if cb else "gone"
+        rows.append((name, ca, cb, delta))
+    rows.sort(key=lambda r: -max(r[1], r[2]))
+    return format_table(
+        ["function", f"cycles ({label_a})", f"cycles ({label_b})", "delta"],
+        rows[:top], title=f"Profile comparison: {label_a} vs {label_b}")

@@ -1,0 +1,173 @@
+"""A small out-of-order pipeline scheduler simulation.
+
+The cost model prices kernels as ``mix x per-class costs x stall factor``,
+with the stall factors *asserted* from each kernel's dependency structure
+(see docs/calibration.md).  This module provides an independent check: a
+windowed out-of-order scheduler issuing a synthetic trace
+(:func:`repro.perf.trace.synthesize_trace`) whose instructions carry
+explicit dependency distances.  If the asserted stall factors are honest,
+the simulated CPI must land near the charged-model CPI for every kernel --
+which ``benchmarks/bench_pipeline_validation.py`` verifies.
+
+The dependency-distance patterns are where each kernel's ILP story lives,
+and they are derived from the algorithms:
+
+* **MD5**: every step's additions/rotate consume the immediately preceding
+  result -- half the stream sits on a distance-2 chain.
+* **SHA-1**: the 80-step chain interleaves with the independent message
+  schedule -- only one op in three is chained.
+* **AES**: a round's 16 lookups are mutually independent (the paper's own
+  observation motivating Figure 5); only round boundaries serialize.
+* **RC4**: the j/swap recurrence gives short chains broken by the
+  independent output XOR.
+* **bignum mul_add**: 4-way unrolling leaves one carry chain in four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import cycle as _cycle
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .isa import CATEGORY, I, InstrMix
+from .trace import synthesize_trace
+
+#: Completion latencies (cycles from issue to result availability) for a
+#: P4-class core.  Distinct from the cost model's reciprocal throughputs:
+#: these are what dependent instructions wait for.
+DEFAULT_LATENCIES: Dict[str, int] = {
+    "mem": 2,      # L1 load-use (with forwarding)
+    "alu": 1,
+    "logic": 1,
+    "shift": 1,
+    "mul": 14,     # the P4's infamous 32-bit multiply latency
+    "ctrl": 1,
+    "stack": 1,
+    "nop": 1,
+}
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Core parameters for the scheduler simulation."""
+
+    issue_width: int = 3
+    window: int = 32           # reorder-window depth (OoO lookahead)
+    mem_ports: int = 1         # loads/stores issued per cycle (P4: one)
+    mul_interval: int = 5      # cycles between mull issues (unpipelined)
+    latencies: Dict[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_LATENCIES))
+
+    def latency(self, mnemonic: str) -> int:
+        return self.latencies[CATEGORY[mnemonic]]
+
+
+#: Per-kernel dependency-distance patterns (cycled over the trace).  A
+#: distance of 0 means "independent of recent results".  Derived from each
+#: kernel's step structure: e.g. an MD5 step retires ~10 instructions of
+#: which ~5 sit on the add/rotate critical chain (distance 1) while the
+#: X[k]/T[i] loads are independent; AES's 16 per-round lookups are
+#: mutually independent with serialization only at round boundaries.
+# Each pattern encodes one *chain*: a non-zero entry is the distance back
+# to the previous chain element, so consecutive chained ops really wait on
+# each other; zeros are slot-filling independent work (loads of message
+# words, table constants, the other unrolled lanes).
+DEPENDENCY_PATTERNS: Dict[str, Tuple[int, ...]] = {
+    # Every second instruction sits on the add/rotate chain: the densest
+    # chain of the seven kernels (the paper's CPI 0.72 despite pure ALU).
+    "md5": (2, 0),
+    # One chain op in three: the schedule expansion fills the gaps.
+    "sha1": (3, 0, 0),
+    # Index extraction chains into each lookup (shr -> and -> load), the
+    # lookups themselves being mutually independent.
+    "aes": (3, 0, 0),
+    # The j/swap recurrence: a chain op roughly every 2.5 instructions.
+    "rc4": (2, 0, 3, 0, 0),
+    # 4-way unrolling: one carry-chain op in four.
+    "rsa": (4, 0, 0, 0),
+}
+
+
+@dataclass
+class PipelineResult:
+    instructions: int
+    cycles: int
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+def simulate(trace: Iterable[str], distances: Iterable[int],
+             config: PipelineConfig = PipelineConfig()) -> PipelineResult:
+    """Schedule ``trace`` on the modelled out-of-order core.
+
+    ``distances[i]`` names which earlier instruction the i-th one depends
+    on (``i - distances[i]``; 0 = independent).  A greedy oldest-first
+    scheduler with a reorder window of ``config.window`` entries issues up
+    to ``issue_width`` ready instructions per cycle -- the OoO lookahead
+    that lets the P4 hide AES's lookup latency but not MD5's serial chain.
+    """
+    instrs: List[Tuple[str, int]] = [
+        (mnemonic, distance) for mnemonic, distance in zip(trace, distances)
+    ]
+    n = len(instrs)
+    if not n:
+        return PipelineResult(0, 0)
+    completion: Dict[int, int] = {}
+    window: List[int] = []
+    fetched = 0
+    cycle = 0
+    max_completion = 0
+    mul_free_at = 0
+    guard = 0
+    while len(completion) < n:
+        while fetched < n and len(window) < config.window:
+            window.append(fetched)
+            fetched += 1
+        issued = 0
+        mem_issued = 0
+        for idx in list(window):
+            if issued >= config.issue_width:
+                break
+            mnemonic, distance = instrs[idx]
+            category = CATEGORY[mnemonic]
+            if category == "mem" and mem_issued >= config.mem_ports:
+                continue
+            if category == "mul" and cycle < mul_free_at:
+                continue
+            dep = idx - distance if distance > 0 else -1
+            if dep >= 0:
+                done = completion.get(dep)
+                if done is None or done > cycle:
+                    continue  # dependency not resolved yet
+            done_at = cycle + config.latency(mnemonic)
+            completion[idx] = done_at
+            max_completion = max(max_completion, done_at)
+            window.remove(idx)
+            issued += 1
+            if category == "mem":
+                mem_issued += 1
+            elif category == "mul":
+                mul_free_at = cycle + config.mul_interval
+        cycle += 1
+        guard += 1
+        if guard > 100 * n + 1000:
+            raise AssertionError("pipeline simulation did not converge")
+    return PipelineResult(n, max_completion)
+
+
+def simulate_kernel(kernel: str, m: InstrMix, length: int = 4096,
+                    config: PipelineConfig = PipelineConfig(),
+                    ) -> PipelineResult:
+    """Simulate a kernel's synthetic trace with its dependency pattern."""
+    if kernel not in DEPENDENCY_PATTERNS:
+        raise KeyError(f"no dependency pattern for {kernel!r}; "
+                       f"known: {sorted(DEPENDENCY_PATTERNS)}")
+    trace = synthesize_trace(m, length)
+    distances = _cycle(DEPENDENCY_PATTERNS[kernel])
+    return simulate(trace, distances, config)

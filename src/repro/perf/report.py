@@ -1,0 +1,75 @@
+"""Plain-text table rendering for experiment reports.
+
+Every benchmark in ``benchmarks/`` regenerates one of the paper's tables or
+figures; these helpers give them a uniform, monospace presentation that can
+be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned monospace table.
+
+    Numeric cells are right-aligned; floats are shown with a sensible number
+    of digits.  Returns a string ending in a newline.
+    """
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1000:
+                return f"{v:,.0f}"
+            if abs(v) >= 10:
+                return f"{v:.1f}"
+            return f"{v:.3f}"
+        return str(v)
+
+    str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, s in enumerate(row):
+            widths[i] = max(widths[i], len(s))
+
+    def is_numeric(col: int) -> bool:
+        return all(_looks_numeric(r[col]) for r in str_rows if r[col])
+
+    numeric = [is_numeric(i) for i in range(len(headers))]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, s in enumerate(cells):
+            parts.append(s.rjust(widths[i]) if numeric[i] else s.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines) + "\n"
+
+
+def _looks_numeric(s: str) -> bool:
+    try:
+        float(s.replace(",", "").rstrip("%"))
+        return True
+    except ValueError:
+        return False
+
+
+def percent(x: float) -> str:
+    """Format a 0..1 fraction as a percentage string."""
+    return f"{100.0 * x:.2f}%"
+
+
+def kcycles(x: float) -> float:
+    """Cycles expressed in thousands, as Table 2 prints them."""
+    return x / 1000.0

@@ -1,0 +1,148 @@
+"""SSLv3 cipher suites built on the from-scratch crypto substrate.
+
+The paper's experiments run ``DES-CBC3-SHA`` (SSL_RSA_WITH_3DES_EDE_CBC_SHA):
+RSA key exchange, 3DES-CBC bulk encryption, SHA-1 record MAC, with MD5 also
+used in the handshake's key derivation and finished hashes.  The registry
+additionally carries the other suites whose kernels the paper profiles so
+the benchmarks can sweep ciphers (AES-128/256-CBC, single DES, RC4 with MD5
+or SHA-1), plus a NULL cipher used to isolate non-crypto costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from ..crypto.aes import AES
+from ..crypto.des import DES, TripleDES
+from ..crypto.md5 import MD5
+from ..crypto.modes import CBC
+from ..crypto.rc4 import RC4
+from ..crypto.sha1 import SHA1
+
+HashFactory = Callable[[], Union[MD5, SHA1]]
+
+
+@dataclass(frozen=True)
+class CipherSuite:
+    """Static description of one cipher suite."""
+
+    suite_id: int
+    name: str            # OpenSSL-style short name, as the paper prints it
+    key_exchange: str    # only "RSA" in SSLv3 scope here
+    cipher: str          # "3des" | "des" | "aes" | "rc4" | "null"
+    is_block: bool
+    key_len: int         # bulk cipher key bytes
+    iv_len: int          # CBC IV bytes (0 for stream/null)
+    block_size: int      # cipher block bytes (1 for stream/null)
+    mac: str             # "sha1" | "md5"
+    #: Export-grade suite: only ``secret_key_len`` bytes of keying material
+    #: come from the key block; the final write keys are expanded from them
+    #: (40-bit security inside a full-width cipher key).
+    export: bool = False
+    secret_key_len: int = 0
+
+    @property
+    def mac_size(self) -> int:
+        return 20 if self.mac == "sha1" else 16
+
+    @property
+    def mac_key_len(self) -> int:
+        return self.mac_size
+
+    def hash_factory(self) -> HashFactory:
+        return SHA1 if self.mac == "sha1" else MD5
+
+    def key_material_length(self) -> int:
+        """Bytes of key block needed for both directions.
+
+        Export suites draw only the short secret keys from the key block;
+        their full-width write keys and IVs are derived separately.
+        """
+        if self.export:
+            return 2 * (self.mac_key_len + self.secret_key_len)
+        return 2 * (self.mac_key_len + self.key_len + self.iv_len)
+
+    def new_cipher(self, key: bytes, iv: bytes,
+                   ) -> Optional[Union[CBC, RC4]]:
+        """Instantiate the bulk cipher (``None`` for the NULL cipher)."""
+        if len(key) != self.key_len:
+            raise ValueError(f"{self.name}: key must be {self.key_len} bytes")
+        if len(iv) != self.iv_len:
+            raise ValueError(f"{self.name}: IV must be {self.iv_len} bytes")
+        if self.cipher == "null":
+            return None
+        if self.cipher == "rc4":
+            return RC4(key)
+        if self.cipher == "3des":
+            return CBC(TripleDES(key), iv)
+        if self.cipher == "des":
+            return CBC(DES(key), iv)
+        if self.cipher == "aes":
+            return CBC(AES(key), iv)
+        raise ValueError(f"unknown cipher {self.cipher!r}")
+
+
+#: The paper's suite and the companions its Section 5 kernels imply.
+DES_CBC3_SHA = CipherSuite(0x000A, "DES-CBC3-SHA", "RSA", "3des", True,
+                           24, 8, 8, "sha1")
+DES_CBC_SHA = CipherSuite(0x0009, "DES-CBC-SHA", "RSA", "des", True,
+                          8, 8, 8, "sha1")
+RC4_MD5 = CipherSuite(0x0004, "RC4-MD5", "RSA", "rc4", False,
+                      16, 0, 1, "md5")
+RC4_SHA = CipherSuite(0x0005, "RC4-SHA", "RSA", "rc4", False,
+                      16, 0, 1, "sha1")
+AES128_SHA = CipherSuite(0x002F, "AES128-SHA", "RSA", "aes", True,
+                         16, 16, 16, "sha1")
+AES256_SHA = CipherSuite(0x0035, "AES256-SHA", "RSA", "aes", True,
+                         32, 16, 16, "sha1")
+NULL_MD5 = CipherSuite(0x0001, "NULL-MD5", "RSA", "null", False,
+                       0, 0, 1, "md5")
+NULL_SHA = CipherSuite(0x0002, "NULL-SHA", "RSA", "null", False,
+                       0, 0, 1, "sha1")
+
+# Export-grade suites (40-bit effective keys): era-appropriate for the
+# paper's OpenSSL.  The bulk kernels run at full width -- export weakness
+# is key entropy, not speed -- so their bulk cost matches the full suites.
+EXP_RC4_MD5 = CipherSuite(0x0003, "EXP-RC4-MD5", "RSA", "rc4", False,
+                          16, 0, 1, "md5", export=True, secret_key_len=5)
+EXP_DES_CBC_SHA = CipherSuite(0x0008, "EXP-DES-CBC-SHA", "RSA", "des", True,
+                              8, 8, 8, "sha1", export=True,
+                              secret_key_len=5)
+
+# Ephemeral Diffie-Hellman suites: the server sends a signed
+# ServerKeyExchange (the step the paper's RSA configuration skips) and
+# both sides perform DH operations instead of RSA key transport.
+EDH_RSA_DES_CBC3_SHA = CipherSuite(0x0016, "EDH-RSA-DES-CBC3-SHA",
+                                   "DHE_RSA", "3des", True, 24, 8, 8,
+                                   "sha1")
+DHE_RSA_AES128_SHA = CipherSuite(0x0033, "DHE-RSA-AES128-SHA", "DHE_RSA",
+                                 "aes", True, 16, 16, 16, "sha1")
+DHE_RSA_AES256_SHA = CipherSuite(0x0039, "DHE-RSA-AES256-SHA", "DHE_RSA",
+                                 "aes", True, 32, 16, 16, "sha1")
+
+ALL_SUITES: Tuple[CipherSuite, ...] = (
+    DES_CBC3_SHA, DES_CBC_SHA, RC4_MD5, RC4_SHA, AES128_SHA, AES256_SHA,
+    EDH_RSA_DES_CBC3_SHA, DHE_RSA_AES128_SHA, DHE_RSA_AES256_SHA,
+    EXP_RC4_MD5, EXP_DES_CBC_SHA,
+    NULL_MD5, NULL_SHA,
+)
+
+BY_ID: Dict[int, CipherSuite] = {s.suite_id: s for s in ALL_SUITES}
+BY_NAME: Dict[str, CipherSuite] = {s.name: s for s in ALL_SUITES}
+
+#: The configuration of the paper's experiments (Section 3.1).
+DEFAULT_SUITE = DES_CBC3_SHA
+
+
+def lookup(suite: Union[int, str, CipherSuite]) -> CipherSuite:
+    """Resolve a suite by id, name or identity."""
+    if isinstance(suite, CipherSuite):
+        return suite
+    if isinstance(suite, int):
+        if suite not in BY_ID:
+            raise KeyError(f"unknown cipher suite id 0x{suite:04x}")
+        return BY_ID[suite]
+    if suite not in BY_NAME:
+        raise KeyError(f"unknown cipher suite {suite!r}")
+    return BY_NAME[suite]

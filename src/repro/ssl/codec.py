@@ -1,0 +1,116 @@
+"""Byte-level encoding helpers for SSLv3 wire structures.
+
+SSLv3 uses big-endian fixed-width integers and length-prefixed vectors with
+1-, 2- or 3-byte length fields.  These two small classes keep the message
+serializers in :mod:`repro.ssl.handshake` declarative and give uniform
+bounds checking (:class:`~repro.ssl.errors.DecodeError` on any truncation).
+"""
+
+from __future__ import annotations
+
+from .errors import DecodeError
+
+
+class ByteWriter:
+    """Append-only builder for wire structures."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def u8(self, v: int) -> "ByteWriter":
+        if not 0 <= v < (1 << 8):
+            raise ValueError(f"u8 out of range: {v}")
+        self._buf.append(v)
+        return self
+
+    def u16(self, v: int) -> "ByteWriter":
+        if not 0 <= v < (1 << 16):
+            raise ValueError(f"u16 out of range: {v}")
+        self._buf += v.to_bytes(2, "big")
+        return self
+
+    def u24(self, v: int) -> "ByteWriter":
+        if not 0 <= v < (1 << 24):
+            raise ValueError(f"u24 out of range: {v}")
+        self._buf += v.to_bytes(3, "big")
+        return self
+
+    def u32(self, v: int) -> "ByteWriter":
+        if not 0 <= v < (1 << 32):
+            raise ValueError(f"u32 out of range: {v}")
+        self._buf += v.to_bytes(4, "big")
+        return self
+
+    def raw(self, data: bytes) -> "ByteWriter":
+        self._buf += data
+        return self
+
+    def vec8(self, data: bytes) -> "ByteWriter":
+        """1-byte-length-prefixed opaque vector."""
+        return self.u8(len(data)).raw(data)
+
+    def vec16(self, data: bytes) -> "ByteWriter":
+        """2-byte-length-prefixed opaque vector."""
+        return self.u16(len(data)).raw(data)
+
+    def vec24(self, data: bytes) -> "ByteWriter":
+        """3-byte-length-prefixed opaque vector."""
+        return self.u24(len(data)).raw(data)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def bytes(self) -> bytes:
+        return bytes(self._buf)
+
+
+class ByteReader:
+    """Sequential reader with strict bounds checking."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if n < 0 or self._pos + n > len(self._data):
+            raise DecodeError(
+                f"truncated structure: need {n} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}")
+        out = self._data[self._pos:self._pos + n]
+        self._pos += n
+        return out
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return int.from_bytes(self._take(2), "big")
+
+    def u24(self) -> int:
+        return int.from_bytes(self._take(3), "big")
+
+    def u32(self) -> int:
+        return int.from_bytes(self._take(4), "big")
+
+    def raw(self, n: int) -> bytes:
+        return self._take(n)
+
+    def vec8(self) -> bytes:
+        return self._take(self.u8())
+
+    def vec16(self) -> bytes:
+        return self._take(self.u16())
+
+    def vec24(self) -> bytes:
+        return self._take(self.u24())
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def rest(self) -> bytes:
+        return self._take(self.remaining())
+
+    def expect_end(self) -> None:
+        if self.remaining():
+            raise DecodeError(
+                f"{self.remaining()} unparsed trailing bytes")

@@ -1,0 +1,326 @@
+"""Shared machinery for the SSLv3 client and server state machines.
+
+A connection owns a :class:`~repro.ssl.record.RecordLayer`, the running
+handshake hashes (one MD5 + one SHA-1 context over every handshake message,
+updated as messages are sent/received -- the paper explains this is why
+"the hashing functions are called in most of the steps" of Table 2), an
+outgoing byte buffer, and the plumbing to cut connection states from the
+key block.
+
+Subclasses implement ``_handle_handshake`` / ``_handle_ccs`` and drive the
+handshake; this class routes records, enforces content-type legality and
+manages application data once the handshake completes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .. import perf
+from ..crypto.md5 import MD5
+from ..crypto.sha1 import SHA1
+from ..perf import charge, mix
+from . import kdf
+from .ciphersuites import CipherSuite
+from .errors import AlertDescription, AlertError, AlertLevel, DecodeError, \
+    PeerAlert, SslError, UnexpectedMessage
+from .handshake import HandshakeMessage, iter_messages
+from .record import (
+    ConnectionState, ContentType, KeyMaterial, RecordLayer, SSL3_VERSION,
+    TLS1_VERSION,
+)
+
+#: BIO buffer control (flushing the handshake flight) -- Table 2's
+#: ``BIO_ctrl, BIO_flush`` entries.
+BIO_FLUSH = mix(movl=900, addl=150, cmpl=220, jnz=220, pushl=60, popl=60,
+                call=40, ret=40)
+
+#: End-of-handshake cleanup: freeing handshake buffers and zeroizing
+#: secrets (step 9 of Table 2, which the paper measures at ~287k cycles).
+SSL_CLEANUP = mix(movl=240_000, movb=85_000, addl=42_000, cmpl=52_000,
+                  jnz=52_000, xorl=32_000, pushl=8_000, popl=8_000,
+                  call=5_000, ret=5_000)
+
+
+class ConnectionStats:
+    """Byte/record counters for one connection endpoint."""
+
+    __slots__ = ("records_sent", "records_received", "bytes_sent",
+                 "bytes_received", "app_bytes_sent", "app_bytes_received")
+
+    def __init__(self) -> None:
+        self.records_sent = 0
+        self.records_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.app_bytes_sent = 0
+        self.app_bytes_received = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"ConnectionStats({inner})"
+
+
+class SslConnection:
+    """Common state for one endpoint of an SSLv3 connection."""
+
+    is_server = False
+
+    def __init__(self) -> None:
+        self._records = RecordLayer()
+        self._out = bytearray()
+        self._app_in = bytearray()
+        self._hs_buffer = bytearray()
+        self._hs_md5: Optional[MD5] = None
+        self._hs_sha1: Optional[SHA1] = None
+        self.handshake_complete = False
+        self.closed = False
+        #: Wire statistics (records/bytes each way, app payload totals).
+        self.stats = ConnectionStats()
+        self.cipher_suite: Optional[CipherSuite] = None
+        self.master_secret: Optional[bytes] = None
+        self.client_random = b""
+        self.server_random = b""
+        #: Negotiated protocol version (SSLv3 until the hellos settle it).
+        self.version = SSL3_VERSION
+
+    def _set_version(self, version: int) -> None:
+        self.version = version
+        self._records.version = version
+
+    @property
+    def is_tls(self) -> bool:
+        return self.version >= TLS1_VERSION
+
+    # -- handshake hash management -----------------------------------------
+    def _init_handshake_hashes(self) -> None:
+        with perf.region("init_finished_mac"):
+            self._hs_md5 = MD5()
+            self._hs_sha1 = SHA1()
+
+    def _update_handshake_hashes(self, raw: bytes) -> None:
+        with perf.region("finish_mac"):
+            self._hs_md5.update(raw)
+            self._hs_sha1.update(raw)
+
+    def _finished_hashes(self, sender: bytes) -> tuple:
+        """SSLv3 finished hashes over the transcript (uses context copies)."""
+        return kdf.finished_hashes(self._hs_md5.copy(), self._hs_sha1.copy(),
+                                   self.master_secret, sender)
+
+    def _compute_verify_data(self, for_client: bool) -> bytes:
+        """Version-appropriate Finished payload over the transcript so far.
+
+        SSLv3: the 16+20-byte MD5/SHA-1 finished hashes with the
+        'CLNT'/'SRVR' sender labels; TLS 1.0: 12 bytes of PRF output over
+        the transcript digests.
+        """
+        if self.is_tls:
+            return kdf.tls_finished(self._hs_md5.copy(),
+                                    self._hs_sha1.copy(),
+                                    self.master_secret, for_client)
+        sender = kdf.SENDER_CLIENT if for_client else kdf.SENDER_SERVER
+        md5_h, sha1_h = self._finished_hashes(sender)
+        return md5_h + sha1_h
+
+    def _derive_master_secret(self, pre_master: bytes) -> bytes:
+        if self.is_tls:
+            return kdf.tls_master_secret(pre_master, self.client_random,
+                                         self.server_random)
+        return kdf.master_secret(pre_master, self.client_random,
+                                 self.server_random)
+
+    # -- outgoing ---------------------------------------------------------------
+    def _emit(self, content_type: int, payload: bytes) -> bytes:
+        wire = self._records.emit(content_type, payload)
+        # One record per MAX_FRAGMENT-sized chunk (at least one).
+        self.stats.records_sent += max(
+            1, -(-len(payload) // 16384))
+        return wire
+
+    def _send_handshake(self, msg: HandshakeMessage) -> None:
+        raw = msg.to_bytes()
+        self._update_handshake_hashes(raw)
+        self._out += self._emit(ContentType.HANDSHAKE, raw)
+
+    def _send_ccs(self) -> None:
+        self._out += self._emit(ContentType.CHANGE_CIPHER_SPEC, b"\x01")
+
+    def _send_alert(self, level: int, description: int) -> None:
+        body = bytes([level, description])
+        self._out += self._emit(ContentType.ALERT, body)
+
+    def _flush(self) -> None:
+        """Model the BIO flush of a handshake flight."""
+        charge(BIO_FLUSH, function="BIO_ctrl", module="libssl")
+
+    def pending_output(self) -> bytes:
+        """Drain bytes destined for the peer."""
+        out = bytes(self._out)
+        self._out.clear()
+        self.stats.bytes_sent += len(out)
+        return out
+
+    # -- incoming -------------------------------------------------------------
+    def receive(self, data: bytes) -> None:
+        """Feed wire bytes from the peer through the state machine."""
+        if self.closed:
+            raise SslError("connection is closed")
+        self.stats.bytes_received += len(data)
+        try:
+            for content_type, body in self._records.feed_raw(data):
+                self.stats.records_received += 1
+                with perf.region(self._region_for_record(content_type)):
+                    payload = self._records.open_record(content_type, body)
+                    self._dispatch(content_type, payload)
+        except AlertError as exc:
+            self._send_alert(exc.level, exc.description)
+            self.closed = True
+            raise
+        except DecodeError:
+            # Malformed wire data: alert the peer and tear down, exactly
+            # like any alert-mapped failure.
+            self._send_alert(AlertLevel.FATAL,
+                             AlertDescription.ILLEGAL_PARAMETER)
+            self.closed = True
+            raise
+
+    def _dispatch(self, content_type: int, payload: bytes) -> None:
+        if content_type == ContentType.V2_CLIENT_HELLO:
+            self._handle_v2_hello(payload)
+            return
+        if content_type == ContentType.HANDSHAKE:
+            self._hs_buffer += payload
+            for msg_type, body, raw in iter_messages(self._hs_buffer):
+                self._handle_handshake(msg_type, body, raw)
+        elif content_type == ContentType.CHANGE_CIPHER_SPEC:
+            if payload != b"\x01":
+                raise UnexpectedMessage("malformed change_cipher_spec")
+            if self._hs_buffer:
+                raise UnexpectedMessage(
+                    "change_cipher_spec inside a handshake message")
+            self._handle_ccs()
+        elif content_type == ContentType.ALERT:
+            self._handle_alert(payload)
+        elif content_type == ContentType.APPLICATION_DATA:
+            if not self.handshake_complete:
+                raise UnexpectedMessage(
+                    "application data before handshake completion")
+            self.stats.app_bytes_received += len(payload)
+            self._app_in += payload
+
+    def _handle_alert(self, payload: bytes) -> None:
+        if len(payload) != 2:
+            raise UnexpectedMessage("malformed alert")
+        level, description = payload
+        if description == 0:  # close_notify
+            self.closed = True
+            return
+        if level == AlertLevel.FATAL:
+            self.closed = True
+            raise PeerAlert(level, description)
+
+    # -- application data ---------------------------------------------------------
+    def write(self, data: bytes) -> None:
+        """Encrypt and queue application data."""
+        if not self.handshake_complete:
+            raise SslError("handshake not complete")
+        if self.closed:
+            raise SslError("connection is closed")
+        self.stats.app_bytes_sent += len(data)
+        with perf.region("bulk_transfer"):
+            self._out += self._emit(ContentType.APPLICATION_DATA, data)
+
+    def read(self) -> bytes:
+        """Drain decrypted application data received so far."""
+        data = bytes(self._app_in)
+        self._app_in.clear()
+        return data
+
+    def close(self) -> None:
+        """Send close_notify and mark the connection closed."""
+        if not self.closed:
+            self._send_alert(AlertLevel.WARNING, 0)
+            self.closed = True
+
+    # -- key material ---------------------------------------------------------------
+    def _build_states(self) -> tuple:
+        """Cut the key block into (client_state, server_state)."""
+        suite = self.cipher_suite
+        if self.is_tls:
+            block = kdf.tls_key_block(self.master_secret,
+                                      self.client_random,
+                                      self.server_random,
+                                      suite.key_material_length())
+        else:
+            block = kdf.key_block(self.master_secret, self.client_random,
+                                  self.server_random,
+                                  suite.key_material_length())
+        mk, kk, ik = suite.mac_key_len, suite.key_len, suite.iv_len
+        pos = 0
+
+        def cut(n: int) -> bytes:
+            nonlocal pos
+            piece = block[pos:pos + n]
+            pos += n
+            return piece
+
+        client_mac, server_mac = cut(mk), cut(mk)
+        if suite.export:
+            client_secret = cut(suite.secret_key_len)
+            server_secret = cut(suite.secret_key_len)
+            (client_key, server_key, client_iv,
+             server_iv) = self._expand_export_keys(
+                suite, client_secret, server_secret)
+        else:
+            client_key, server_key = cut(kk), cut(kk)
+            client_iv, server_iv = cut(ik), cut(ik)
+        client_state = ConnectionState(
+            suite, KeyMaterial(client_mac, client_key, client_iv),
+            version=self.version)
+        server_state = ConnectionState(
+            suite, KeyMaterial(server_mac, server_key, server_iv),
+            version=self.version)
+        return client_state, server_state
+
+    def _expand_export_keys(self, suite: CipherSuite,
+                            client_secret: bytes,
+                            server_secret: bytes) -> tuple:
+        """Expand export-grade short secrets into full write keys + IVs.
+
+        SSLv3: ``final_key = MD5(secret || randoms)``, IVs from
+        ``MD5(randoms)``.  TLS 1.0: PRF with the "client write key" /
+        "server write key" / "IV block" labels over the randoms.
+        """
+        cr, sr = self.client_random, self.server_random
+        kk, ik = suite.key_len, suite.iv_len
+        if self.is_tls:
+            client_key = kdf.tls_prf(client_secret, b"client write key",
+                                     cr + sr, kk)
+            server_key = kdf.tls_prf(server_secret, b"server write key",
+                                     cr + sr, kk)
+            iv_block = kdf.tls_prf(b"", b"IV block", cr + sr, 2 * ik)
+            return client_key, server_key, iv_block[:ik], iv_block[ik:]
+        client_key = MD5(client_secret + cr + sr).digest()[:kk]
+        server_key = MD5(server_secret + sr + cr).digest()[:kk]
+        client_iv = MD5(cr + sr).digest()[:ik]
+        server_iv = MD5(sr + cr).digest()[:ik]
+        return client_key, server_key, client_iv, server_iv
+
+    # -- hooks ----------------------------------------------------------------------
+    def _handle_handshake(self, msg_type: int, body: bytes,
+                          raw: bytes) -> None:
+        raise NotImplementedError
+
+    def _handle_v2_hello(self, payload: bytes) -> None:
+        raise UnexpectedMessage(
+            "v2 compatibility hello not acceptable here")
+
+    def _handle_ccs(self) -> None:
+        raise NotImplementedError
+
+    def _region_for_record(self, content_type: int) -> str:
+        raise NotImplementedError

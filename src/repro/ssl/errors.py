@@ -1,0 +1,87 @@
+"""SSL error hierarchy and SSLv3 alert codes."""
+
+from __future__ import annotations
+
+
+class AlertLevel:
+    WARNING = 1
+    FATAL = 2
+
+
+class AlertDescription:
+    CLOSE_NOTIFY = 0
+    UNEXPECTED_MESSAGE = 10
+    BAD_RECORD_MAC = 20
+    DECOMPRESSION_FAILURE = 30
+    HANDSHAKE_FAILURE = 40
+    NO_CERTIFICATE = 41
+    BAD_CERTIFICATE = 42
+    UNSUPPORTED_CERTIFICATE = 43
+    CERTIFICATE_REVOKED = 44
+    CERTIFICATE_EXPIRED = 45
+    CERTIFICATE_UNKNOWN = 46
+    ILLEGAL_PARAMETER = 47
+    NO_RENEGOTIATION = 100  # warning-level (TLS; widely used with SSLv3)
+
+    _NAMES = {
+        0: "close_notify", 10: "unexpected_message", 20: "bad_record_mac",
+        30: "decompression_failure", 40: "handshake_failure",
+        41: "no_certificate", 42: "bad_certificate",
+        43: "unsupported_certificate", 44: "certificate_revoked",
+        45: "certificate_expired", 46: "certificate_unknown",
+        47: "illegal_parameter", 100: "no_renegotiation",
+    }
+
+    @classmethod
+    def name(cls, code: int) -> str:
+        return cls._NAMES.get(code, f"alert_{code}")
+
+
+class SslError(Exception):
+    """Base class for all SSL-layer failures."""
+
+
+class DecodeError(SslError):
+    """Malformed wire bytes (truncated or inconsistent lengths)."""
+
+
+class AlertError(SslError):
+    """A condition that maps to an SSLv3 alert."""
+
+    def __init__(self, description: int, message: str = "",
+                 level: int = AlertLevel.FATAL):
+        self.description = description
+        self.level = level
+        name = AlertDescription.name(description)
+        super().__init__(f"{name}: {message}" if message else name)
+
+
+class BadRecordMac(AlertError):
+    def __init__(self, message: str = "record MAC verification failed"):
+        super().__init__(AlertDescription.BAD_RECORD_MAC, message)
+
+
+class UnexpectedMessage(AlertError):
+    def __init__(self, message: str = ""):
+        super().__init__(AlertDescription.UNEXPECTED_MESSAGE, message)
+
+
+class HandshakeFailure(AlertError):
+    def __init__(self, message: str = ""):
+        super().__init__(AlertDescription.HANDSHAKE_FAILURE, message)
+
+
+class BadCertificate(AlertError):
+    def __init__(self, message: str = ""):
+        super().__init__(AlertDescription.BAD_CERTIFICATE, message)
+
+
+class PeerAlert(SslError):
+    """The peer sent a fatal alert."""
+
+    def __init__(self, level: int, description: int):
+        self.level = level
+        self.description = description
+        super().__init__(
+            f"peer alert: {AlertDescription.name(description)} "
+            f"(level {level})")

@@ -1,0 +1,418 @@
+"""SSLv3 handshake message types and their wire encodings.
+
+These are the messages of the paper's Figure 1: ClientHello, ServerHello,
+Certificate, ServerHelloDone, ClientKeyExchange, Finished (plus the
+HelloRequest/CertificateRequest types for completeness).  Each message
+serializes to ``msg_type(1) || length(3) || body`` inside a handshake
+record.
+
+Note the SSLv3 quirk the paper's flow depends on: the ClientKeyExchange
+body is the raw RSA-encrypted pre-master secret with *no* length prefix
+(TLS 1.0 added one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Type
+
+from .codec import ByteReader, ByteWriter
+from .errors import DecodeError
+
+RANDOM_LENGTH = 32
+
+
+class HandshakeType:
+    HELLO_REQUEST = 0
+    CLIENT_HELLO = 1
+    SERVER_HELLO = 2
+    CERTIFICATE = 11
+    SERVER_KEY_EXCHANGE = 12
+    CERTIFICATE_REQUEST = 13
+    SERVER_HELLO_DONE = 14
+    CERTIFICATE_VERIFY = 15
+    CLIENT_KEY_EXCHANGE = 16
+    FINISHED = 20
+
+    _NAMES = {
+        0: "hello_request", 1: "client_hello", 2: "server_hello",
+        11: "certificate", 12: "server_key_exchange",
+        13: "certificate_request", 14: "server_hello_done",
+        15: "certificate_verify", 16: "client_key_exchange", 20: "finished",
+    }
+
+    @classmethod
+    def name(cls, t: int) -> str:
+        return cls._NAMES.get(t, f"handshake_{t}")
+
+
+class HandshakeMessage:
+    """Base class: subclasses define ``msg_type``, ``body`` and ``parse``."""
+
+    msg_type: int = -1
+
+    def body(self) -> bytes:
+        raise NotImplementedError
+
+    @classmethod
+    def parse(cls, body: bytes) -> "HandshakeMessage":
+        raise NotImplementedError
+
+    def to_bytes(self) -> bytes:
+        body = self.body()
+        return (bytes([self.msg_type]) + len(body).to_bytes(3, "big")
+                + body)
+
+
+@dataclass
+class ClientHello(HandshakeMessage):
+    client_random: bytes
+    session_id: bytes = b""
+    cipher_suites: Tuple[int, ...] = ()
+    compression_methods: Tuple[int, ...] = (0,)
+    version: int = 0x0300
+
+    msg_type = HandshakeType.CLIENT_HELLO
+
+    def body(self) -> bytes:
+        if len(self.client_random) != RANDOM_LENGTH:
+            raise ValueError("client random must be 32 bytes")
+        w = ByteWriter()
+        w.u16(self.version)
+        w.raw(self.client_random)
+        w.vec8(self.session_id)
+        suites = ByteWriter()
+        for s in self.cipher_suites:
+            suites.u16(s)
+        w.vec16(suites.bytes())
+        w.vec8(bytes(self.compression_methods))
+        return w.bytes()
+
+    @classmethod
+    def parse(cls, body: bytes) -> "ClientHello":
+        r = ByteReader(body)
+        version = r.u16()
+        random = r.raw(RANDOM_LENGTH)
+        session_id = r.vec8()
+        suite_bytes = r.vec16()
+        if len(suite_bytes) % 2:
+            raise DecodeError("odd cipher-suite vector length")
+        suites = tuple(int.from_bytes(suite_bytes[i:i + 2], "big")
+                       for i in range(0, len(suite_bytes), 2))
+        compression = tuple(r.vec8())
+        r.expect_end()
+        if not suites:
+            raise DecodeError("empty cipher-suite list")
+        return cls(client_random=random, session_id=session_id,
+                   cipher_suites=suites, compression_methods=compression,
+                   version=version)
+
+
+@dataclass
+class ServerHello(HandshakeMessage):
+    server_random: bytes
+    session_id: bytes
+    cipher_suite: int
+    compression_method: int = 0
+    version: int = 0x0300
+
+    msg_type = HandshakeType.SERVER_HELLO
+
+    def body(self) -> bytes:
+        if len(self.server_random) != RANDOM_LENGTH:
+            raise ValueError("server random must be 32 bytes")
+        w = ByteWriter()
+        w.u16(self.version)
+        w.raw(self.server_random)
+        w.vec8(self.session_id)
+        w.u16(self.cipher_suite)
+        w.u8(self.compression_method)
+        return w.bytes()
+
+    @classmethod
+    def parse(cls, body: bytes) -> "ServerHello":
+        r = ByteReader(body)
+        version = r.u16()
+        random = r.raw(RANDOM_LENGTH)
+        session_id = r.vec8()
+        suite = r.u16()
+        compression = r.u8()
+        r.expect_end()
+        return cls(server_random=random, session_id=session_id,
+                   cipher_suite=suite, compression_method=compression,
+                   version=version)
+
+
+@dataclass
+class CertificateMsg(HandshakeMessage):
+    """A chain of encoded certificates, leaf first."""
+
+    certificates: List[bytes] = field(default_factory=list)
+
+    msg_type = HandshakeType.CERTIFICATE
+
+    def body(self) -> bytes:
+        inner = ByteWriter()
+        for cert in self.certificates:
+            inner.vec24(cert)
+        return ByteWriter().vec24(inner.bytes()).bytes()
+
+    @classmethod
+    def parse(cls, body: bytes) -> "CertificateMsg":
+        r = ByteReader(body)
+        chain_bytes = r.vec24()
+        r.expect_end()
+        certs: List[bytes] = []
+        cr = ByteReader(chain_bytes)
+        while cr.remaining():
+            certs.append(cr.vec24())
+        return cls(certificates=certs)
+
+
+@dataclass
+class ServerHelloDone(HandshakeMessage):
+    msg_type = HandshakeType.SERVER_HELLO_DONE
+
+    def body(self) -> bytes:
+        return b""
+
+    @classmethod
+    def parse(cls, body: bytes) -> "ServerHelloDone":
+        if body:
+            raise DecodeError("server_hello_done must be empty")
+        return cls()
+
+
+@dataclass
+class ClientKeyExchange(HandshakeMessage):
+    """RSA-encrypted pre-master secret.
+
+    SSLv3 sends the ciphertext raw; TLS 1.0 added a 2-byte length prefix.
+    ``tls_format`` selects the encoding, and :meth:`parse_versioned`
+    decodes by negotiated version.
+    """
+
+    encrypted_pre_master: bytes = b""
+    tls_format: bool = False
+
+    msg_type = HandshakeType.CLIENT_KEY_EXCHANGE
+
+    def body(self) -> bytes:
+        if self.tls_format:
+            return ByteWriter().vec16(self.encrypted_pre_master).bytes()
+        return self.encrypted_pre_master
+
+    @classmethod
+    def parse(cls, body: bytes) -> "ClientKeyExchange":
+        if not body:
+            raise DecodeError("empty client_key_exchange")
+        return cls(encrypted_pre_master=body)
+
+    @classmethod
+    def parse_versioned(cls, body: bytes,
+                        is_tls: bool) -> "ClientKeyExchange":
+        if not is_tls:
+            return cls.parse(body)
+        r = ByteReader(body)
+        encrypted = r.vec16()
+        r.expect_end()
+        if not encrypted:
+            raise DecodeError("empty client_key_exchange")
+        return cls(encrypted_pre_master=encrypted, tls_format=True)
+
+
+@dataclass
+class ServerKeyExchange(HandshakeMessage):
+    """Signed ephemeral Diffie-Hellman parameters (DHE_RSA suites).
+
+    ``signature`` is an RSA signature over MD5(randoms || params) ||
+    SHA1(randoms || params) -- the SSLv3/TLS1.0 "md5+sha1, no DigestInfo"
+    convention for RSA-signed key exchanges.
+    """
+
+    dh_p: bytes = b""
+    dh_g: bytes = b""
+    dh_ys: bytes = b""
+    signature: bytes = b""
+
+    msg_type = HandshakeType.SERVER_KEY_EXCHANGE
+
+    def params_bytes(self) -> bytes:
+        """The signed portion (p, g, Ys as 2-byte-length vectors)."""
+        return (ByteWriter().vec16(self.dh_p).vec16(self.dh_g)
+                .vec16(self.dh_ys).bytes())
+
+    def body(self) -> bytes:
+        return ByteWriter().raw(self.params_bytes()) \
+            .vec16(self.signature).bytes()
+
+    @classmethod
+    def parse(cls, body: bytes) -> "ServerKeyExchange":
+        r = ByteReader(body)
+        dh_p = r.vec16()
+        dh_g = r.vec16()
+        dh_ys = r.vec16()
+        signature = r.vec16()
+        r.expect_end()
+        if not dh_p or not dh_g or not dh_ys:
+            raise DecodeError("empty DH parameter")
+        return cls(dh_p=dh_p, dh_g=dh_g, dh_ys=dh_ys, signature=signature)
+
+
+@dataclass
+class Finished(HandshakeMessage):
+    """Verify data: 36 bytes (SSLv3: MD5 || SHA-1 finished hashes) or
+    12 bytes (TLS 1.0 PRF output)."""
+
+    verify_data: bytes = b""
+
+    msg_type = HandshakeType.FINISHED
+
+    def body(self) -> bytes:
+        if len(self.verify_data) not in (12, 36):
+            raise ValueError("finished verify_data must be 12 or 36 bytes")
+        return self.verify_data
+
+    @classmethod
+    def parse(cls, body: bytes) -> "Finished":
+        if len(body) not in (12, 36):
+            raise DecodeError("finished message must be 12 or 36 bytes")
+        return cls(verify_data=body)
+
+    @property
+    def md5_hash(self) -> bytes:
+        """SSLv3 view: the MD5 half of a 36-byte verify_data."""
+        return self.verify_data[:16]
+
+    @property
+    def sha1_hash(self) -> bytes:
+        """SSLv3 view: the SHA-1 half of a 36-byte verify_data."""
+        return self.verify_data[16:]
+
+
+@dataclass
+class HelloRequest(HandshakeMessage):
+    msg_type = HandshakeType.HELLO_REQUEST
+
+    def body(self) -> bytes:
+        return b""
+
+    @classmethod
+    def parse(cls, body: bytes) -> "HelloRequest":
+        if body:
+            raise DecodeError("hello_request must be empty")
+        return cls()
+
+
+_PARSERS: Dict[int, Type[HandshakeMessage]] = {
+    HandshakeType.CLIENT_HELLO: ClientHello,
+    HandshakeType.SERVER_KEY_EXCHANGE: ServerKeyExchange,
+    HandshakeType.SERVER_HELLO: ServerHello,
+    HandshakeType.CERTIFICATE: CertificateMsg,
+    HandshakeType.SERVER_HELLO_DONE: ServerHelloDone,
+    HandshakeType.CLIENT_KEY_EXCHANGE: ClientKeyExchange,
+    HandshakeType.FINISHED: Finished,
+    HandshakeType.HELLO_REQUEST: HelloRequest,
+}
+
+
+def iter_messages(buffer: bytearray) -> List[Tuple[int, bytes, bytes]]:
+    """Pop complete handshake messages from ``buffer``.
+
+    Returns ``(msg_type, body, raw)`` triples, where ``raw`` is the full
+    header+body encoding (needed for the running handshake hashes).
+    Incomplete trailing bytes remain in the buffer.
+    """
+    out: List[Tuple[int, bytes, bytes]] = []
+    while len(buffer) >= 4:
+        msg_type = buffer[0]
+        length = int.from_bytes(buffer[1:4], "big")
+        if len(buffer) < 4 + length:
+            break
+        raw = bytes(buffer[:4 + length])
+        body = raw[4:]
+        del buffer[:4 + length]
+        out.append((msg_type, body, raw))
+    return out
+
+
+def parse_message(msg_type: int, body: bytes) -> HandshakeMessage:
+    """Parse a handshake body by type."""
+    parser = _PARSERS.get(msg_type)
+    if parser is None:
+        raise DecodeError(
+            f"unsupported handshake type {HandshakeType.name(msg_type)}")
+    return parser.parse(body)
+
+
+# ---------------------------------------------------------------------------
+# SSLv2-compatibility ClientHello
+# ---------------------------------------------------------------------------
+# Browsers of the paper's era opened connections with an SSL *2.0* format
+# CLIENT-HELLO offering SSLv3/TLS versions and suites; servers (OpenSSL
+# included) accepted it and answered in v3.  The v2 message is:
+#
+#   msg_type(1)=1 || version(2) || cipher_specs_len(2) || session_id_len(2)
+#   || challenge_len(2) || cipher_specs (3 bytes each) || session_id
+#   || challenge(16..32)
+#
+# carried in a 2-byte v2 record header (MSB set, 15-bit length).
+
+V2_CLIENT_HELLO_TYPE = 1
+
+
+def build_v2_client_hello(version: int, cipher_suites: Tuple[int, ...],
+                          challenge: bytes) -> bytes:
+    """The v2 CLIENT-HELLO message body (no record header)."""
+    if not 16 <= len(challenge) <= 32:
+        raise ValueError("v2 challenge must be 16..32 bytes")
+    if not cipher_suites:
+        raise ValueError("empty cipher-suite list")
+    w = ByteWriter()
+    w.u8(V2_CLIENT_HELLO_TYPE)
+    w.u16(version)
+    w.u16(3 * len(cipher_suites))
+    w.u16(0)  # no session id in v2-compat hellos
+    w.u16(len(challenge))
+    for suite in cipher_suites:
+        w.u24(suite)  # v3 suites ride as 0x00XXYY triples
+    w.raw(challenge)
+    return w.bytes()
+
+
+def parse_v2_client_hello(body: bytes) -> ClientHello:
+    """Convert a v2 CLIENT-HELLO into the equivalent v3 ClientHello.
+
+    The challenge becomes the right-aligned client random (zero-padded to
+    32 bytes), per the SSLv3 appendix on v2 compatibility.
+    """
+    r = ByteReader(body)
+    if r.u8() != V2_CLIENT_HELLO_TYPE:
+        raise DecodeError("not a v2 CLIENT-HELLO")
+    version = r.u16()
+    specs_len = r.u16()
+    session_len = r.u16()
+    challenge_len = r.u16()
+    if specs_len % 3:
+        raise DecodeError("v2 cipher-spec length not a multiple of 3")
+    if not 16 <= challenge_len <= 32:
+        raise DecodeError("v2 challenge length out of range")
+    specs = r.raw(specs_len)
+    session_id = r.raw(session_len)
+    challenge = r.raw(challenge_len)
+    r.expect_end()
+    suites = tuple(int.from_bytes(specs[i:i + 3], "big")
+                   for i in range(0, specs_len, 3))
+    v3_suites = tuple(s for s in suites if s <= 0xFFFF)
+    if not v3_suites:
+        raise DecodeError("v2 hello offers no v3-compatible suites")
+    random = challenge.rjust(RANDOM_LENGTH, b"\x00")
+    return ClientHello(client_random=random, session_id=session_id,
+                       cipher_suites=v3_suites, version=version)
+
+
+def v2_record(message: bytes) -> bytes:
+    """Wrap a v2 message in the 2-byte MSB-set record header."""
+    if len(message) > 0x7FFF:
+        raise ValueError("v2 record too long")
+    return (0x8000 | len(message)).to_bytes(2, "big") + message

@@ -1,0 +1,139 @@
+"""Wire-format trace decoder (an ``ssldump`` stand-in).
+
+Decodes the byte stream between two SSL endpoints into human-readable
+events: record boundaries, handshake message types (while still in the
+clear), ChangeCipherSpec transitions, alerts, and opaque post-CCS records.
+Used by the handshake-anatomy example and available for debugging any
+loopback exchange.
+
+Purely passive: the tracer never decrypts -- exactly like a wire sniffer,
+it loses visibility at the ChangeCipherSpec (it labels the one handshake
+record that follows as the Finished message, which protocol structure
+guarantees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .errors import AlertDescription
+from .handshake import HandshakeType
+from .record import ContentType, HEADER_LEN
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One decoded record."""
+
+    direction: str          # e.g. "client->server"
+    content_type: int
+    version: int
+    length: int
+    description: str
+
+    def __str__(self) -> str:
+        return (f"{self.direction:<16s} {self.description} "
+                f"({self.length} bytes)")
+
+
+class WireTracer:
+    """Streaming decoder for both directions of one connection."""
+
+    def __init__(self, client_label: str = "client",
+                 server_label: str = "server"):
+        self._labels = {"client": client_label, "server": server_label}
+        self._buffers: Dict[str, bytearray] = {"client": bytearray(),
+                                               "server": bytearray()}
+        self._encrypted: Dict[str, bool] = {"client": False,
+                                            "server": False}
+        self._saw_any: Dict[str, bool] = {"client": False, "server": False}
+        self.events: List[TraceEvent] = []
+
+    def feed(self, sender: str, data: bytes) -> List[TraceEvent]:
+        """Decode bytes sent by ``sender`` ("client" or "server")."""
+        if sender not in self._buffers:
+            raise ValueError(f"unknown sender {sender!r}")
+        buf = self._buffers[sender]
+        buf += data
+        new: List[TraceEvent] = []
+        while True:
+            event = self._pop_record(sender, buf)
+            if event is None:
+                break
+            new.append(event)
+        self.events.extend(new)
+        return new
+
+    # -- internals ----------------------------------------------------------
+    def _direction(self, sender: str) -> str:
+        other = "server" if sender == "client" else "client"
+        return f"{self._labels[sender]}->{self._labels[other]}"
+
+    def _pop_record(self, sender: str, buf: bytearray):
+        if not buf:
+            return None
+        # SSLv2-compatibility hello: MSB-set short header, first record.
+        if not self._saw_any[sender] and buf[0] & 0x80:
+            if len(buf) < 2:
+                return None
+            length = int.from_bytes(buf[:2], "big") & 0x7FFF
+            if len(buf) < 2 + length:
+                return None
+            del buf[:2 + length]
+            self._saw_any[sender] = True
+            return TraceEvent(self._direction(sender), -2, 0x0002, length,
+                              "v2 client_hello (compat)")
+        if len(buf) < HEADER_LEN:
+            return None
+        content_type = buf[0]
+        version = int.from_bytes(buf[1:3], "big")
+        length = int.from_bytes(buf[3:5], "big")
+        if len(buf) < HEADER_LEN + length:
+            return None
+        body = bytes(buf[HEADER_LEN:HEADER_LEN + length])
+        del buf[:HEADER_LEN + length]
+        self._saw_any[sender] = True
+        description = self._describe(sender, content_type, body)
+        return TraceEvent(self._direction(sender), content_type, version,
+                          length, description)
+
+    def _describe(self, sender: str, content_type: int,
+                  body: bytes) -> str:
+        if content_type == ContentType.CHANGE_CIPHER_SPEC:
+            self._encrypted[sender] = True
+            return "change_cipher_spec"
+        if self._encrypted[sender]:
+            if content_type == ContentType.HANDSHAKE:
+                return "finished (encrypted)"
+            if content_type == ContentType.ALERT:
+                return "alert (encrypted)"
+            return "application_data (encrypted)"
+        if content_type == ContentType.HANDSHAKE:
+            return self._describe_handshake(body)
+        if content_type == ContentType.ALERT:
+            if len(body) == 2:
+                level = "fatal" if body[0] == 2 else "warning"
+                return f"alert: {AlertDescription.name(body[1])} ({level})"
+            return "alert (malformed)"
+        if content_type == ContentType.APPLICATION_DATA:
+            return "application_data (plaintext!)"
+        return f"unknown record type {content_type}"
+
+    @staticmethod
+    def _describe_handshake(body: bytes) -> str:
+        names: List[str] = []
+        pos = 0
+        while pos + 4 <= len(body):
+            msg_type = body[pos]
+            msg_len = int.from_bytes(body[pos + 1:pos + 4], "big")
+            names.append(HandshakeType.name(msg_type))
+            pos += 4 + msg_len
+        if not names or pos != len(body):
+            return "handshake (malformed)"
+        return ", ".join(names)
+
+
+def format_trace(events: List[TraceEvent]) -> str:
+    """Render events one per line (the ssldump-style listing)."""
+    return "\n".join(str(e) for e in events) + ("\n" if events else "")

@@ -1,0 +1,6 @@
+"""Command-line tools: the reproduction's equivalents of ``openssl speed``
+and a profile explorer.  Run as modules::
+
+    python -m repro.tools.speed --bytes 8192
+    python -m repro.tools.anatomy rsa aes
+"""

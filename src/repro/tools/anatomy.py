@@ -1,0 +1,72 @@
+"""Profile explorer: dump the anatomy of an SSL handshake or crypto kernel.
+
+    python -m repro.tools.anatomy handshake
+    python -m repro.tools.anatomy handshake --crt --tls
+    python -m repro.tools.anatomy rsa aes sha1
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..crypto.bench import ALGORITHMS
+from ..perf.export import functions_csv, region_tree_text
+
+
+def run_handshake(use_crt: bool, tls: bool):
+    from ..ssl import DES_CBC3_SHA, TLS1_VERSION
+    from ..ssl.loopback import make_server_identity, profiled_handshake
+
+    key, cert = make_server_identity(1024, seed=b"anatomy-tool")
+    sp, _, _, _ = profiled_handshake(
+        key, cert, suite=DES_CBC3_SHA,
+        version=TLS1_VERSION if tls else 0x0300,
+        use_crt=use_crt, seed=b"tool")
+    return sp
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-anatomy",
+        description="Dump region trees / flat profiles for handshakes and "
+                    "crypto kernels")
+    parser.add_argument("targets", nargs="+",
+                        help=f"'handshake' or any of {', '.join(ALGORITHMS)}")
+    parser.add_argument("--crt", action="store_true",
+                        help="use CRT RSA in the handshake (default: "
+                             "non-CRT, the paper's Table 2 configuration)")
+    parser.add_argument("--tls", action="store_true",
+                        help="negotiate TLS 1.0 instead of SSLv3")
+    parser.add_argument("--csv", action="store_true",
+                        help="also print the flat function profile as CSV")
+    parser.add_argument("--trace", type=int, metavar="N", default=0,
+                        help="also print an N-instruction synthetic trace "
+                             "(SoftSDV-style) of the aggregate mix")
+    args = parser.parse_args(argv)
+
+    for target in args.targets:
+        print(f"==== {target} " + "=" * max(0, 50 - len(target)))
+        if target == "handshake":
+            prof = run_handshake(args.crt, args.tls)
+        elif target in ALGORITHMS:
+            from ..crypto.bench import measure_cipher, measure_hash, \
+                measure_rsa
+            if target in ("aes", "des", "3des", "rc4"):
+                prof = measure_cipher(target, 8192).profiler
+            elif target in ("md5", "sha1"):
+                prof = measure_hash(target, 8192).profiler
+            else:
+                prof = measure_rsa(1024).profiler
+        else:
+            parser.error(f"unknown target {target!r}")
+        print(region_tree_text(prof))
+        if args.csv:
+            print(functions_csv(prof, top=15))
+        if args.trace:
+            from ..perf.trace import profile_trace, trace_to_text
+            print(trace_to_text(iter(profile_trace(prof, args.trace))))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

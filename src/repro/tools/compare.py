@@ -1,0 +1,67 @@
+"""Profile diff between two handshake configurations.
+
+Runs the same loopback handshake under two configurations and prints the
+side-by-side function profile -- the quickest way to see what a knob
+(CRT, protocol version, cipher suite, key size) actually moves.
+
+    python -m repro.tools.compare --knob crt
+    python -m repro.tools.compare --knob version
+    python -m repro.tools.compare --knob suite --suites DES-CBC3-SHA RC4-MD5
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..perf.export import compare_profiles
+from ..ssl import TLS1_VERSION, lookup
+from ..ssl.loopback import make_server_identity, profiled_handshake
+
+
+def run_handshake(key, cert, suite, version=0x0300, use_crt=True):
+    sp, _, _, _ = profiled_handshake(key, cert, suite=suite,
+                                     version=version, use_crt=use_crt,
+                                     seed=b"cmp")
+    return sp
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-compare",
+        description="Diff two handshake configurations' server profiles")
+    parser.add_argument("--knob", choices=("crt", "version", "suite"),
+                        default="crt")
+    parser.add_argument("--suites", nargs=2,
+                        default=["DES-CBC3-SHA", "AES128-SHA"],
+                        help="two suite names for --knob suite")
+    parser.add_argument("--bits", type=int, default=1024,
+                        choices=(512, 1024))
+    parser.add_argument("--top", type=int, default=12)
+    args = parser.parse_args(argv)
+
+    key, cert = make_server_identity(args.bits, seed=b"compare-tool")
+    default_suite = lookup("DES-CBC3-SHA")
+
+    if args.knob == "crt":
+        a = run_handshake(key, cert, default_suite, use_crt=False)
+        b = run_handshake(key, cert, default_suite, use_crt=True)
+        labels = ("non-CRT", "CRT")
+    elif args.knob == "version":
+        a = run_handshake(key, cert, default_suite, version=0x0300)
+        b = run_handshake(key, cert, default_suite, version=TLS1_VERSION)
+        labels = ("SSLv3", "TLS1.0")
+    else:
+        s1, s2 = (lookup(name) for name in args.suites)
+        a = run_handshake(key, cert, s1)
+        b = run_handshake(key, cert, s2)
+        labels = (s1.name, s2.name)
+
+    print(compare_profiles(a, b, *labels, top=args.top))
+    print(f"totals: {labels[0]} {a.total_cycles():,.0f} cycles, "
+          f"{labels[1]} {b.total_cycles():,.0f} cycles "
+          f"({b.total_cycles() / a.total_cycles():.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

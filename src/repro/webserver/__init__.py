@@ -1,0 +1,22 @@
+"""Simulated HTTPS web-server environment (Apache + mod_ssl + Linux stand-in)."""
+
+from .capacity import (
+    LoadResult, LoadSimulator, MixedLoadSimulator, requests_per_second,
+)
+from .costs import DEFAULT_COSTS, SystemCostModel
+from .httpd import (
+    ApacheWorker, HttpError, HttpRequest, build_request, build_response,
+    parse_request, parse_response,
+)
+from .simulator import SimulationResult, WebServerSimulator, run_experiment
+from .workload import Request, RequestWorkload, document_bytes
+
+__all__ = [
+    "LoadResult", "LoadSimulator", "MixedLoadSimulator",
+    "requests_per_second",
+    "DEFAULT_COSTS", "SystemCostModel",
+    "ApacheWorker", "HttpError", "HttpRequest", "build_request",
+    "build_response", "parse_request", "parse_response",
+    "SimulationResult", "WebServerSimulator", "run_experiment",
+    "Request", "RequestWorkload", "document_bytes",
+]

@@ -1,0 +1,54 @@
+"""Calibrated cost models for the non-SSL parts of an HTTPS transaction.
+
+The paper's Table 1 measures a complete web-server stack: Apache (httpd),
+the Linux kernel's TCP path (vmlinux), libc/pthread ("other") and the SSL
+libraries.  Our SSL stack computes its own cycles from instrumented
+execution; the surrounding system software is replaced by the explicit cost
+models below, calibrated against Table 1's non-SSL residues at the paper's
+operating point (1 KB requests, full handshake per request, DES-CBC3-SHA,
+~28.7 M cycles per transaction).
+
+This substitution is what DESIGN.md's substitution table calls out: Table 1
+and Figure 2 are *ratio* results about where time goes; the subject of the
+paper (the SSL side) is fully computed, and only the non-SSL residue is
+parameterized.  The constants scale with connection count and bytes moved,
+so sweeping the request size (Figure 2) exercises the model sensibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SystemCostModel:
+    """Per-connection and per-KB cycle costs of the non-SSL components."""
+
+    # Linux kernel (vmlinux): TCP handshake + teardown, socket syscalls,
+    # interrupts, scheduling.  Table 1 residue: ~5.0 M cycles/request at
+    # 1 KB -- dominated by connection setup at small sizes.
+    kernel_per_connection: float = 4_450_000.0
+    kernel_per_kb: float = 95_000.0
+
+    # Apache (httpd): accept loop, request parsing, response assembly.
+    # Table 1 residue: ~0.53 M cycles/request.
+    httpd_per_request: float = 450_000.0
+    httpd_per_kb: float = 14_000.0
+
+    # libc / pthread / loader ("other"): allocation, string handling,
+    # locking under the whole stack.  Table 1 residue: ~2.6 M cycles.
+    other_per_request: float = 1_530_000.0
+    other_per_kb: float = 55_000.0
+
+    def kernel_cycles(self, kilobytes: float) -> float:
+        return self.kernel_per_connection + self.kernel_per_kb * kilobytes
+
+    def httpd_cycles(self, kilobytes: float) -> float:
+        return self.httpd_per_request + self.httpd_per_kb * kilobytes
+
+    def other_cycles(self, kilobytes: float) -> float:
+        return self.other_per_request + self.other_per_kb * kilobytes
+
+
+#: The paper's environment: Apache 2.0 + mod_ssl on Linux 2.6.6, P4 2.26 GHz.
+DEFAULT_COSTS = SystemCostModel()

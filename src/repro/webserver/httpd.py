@@ -1,0 +1,112 @@
+"""Minimal HTTP/1.1 semantics for the simulated Apache worker.
+
+Only what the experiment needs: parse a GET, build a 200/404 response, and
+charge the modelled httpd cycles.  The SSL work underneath is the real
+instrumented stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .. import perf
+from .costs import SystemCostModel
+from .workload import document_bytes
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    headers: dict
+
+
+class HttpError(ValueError):
+    """Malformed HTTP request."""
+
+
+def build_request(path: str, host: str = "repro-server") -> bytes:
+    return (f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"User-Agent: repro-curl/1.0\r\nConnection: close\r\n\r\n"
+            ).encode()
+
+
+def parse_request(raw: bytes) -> HttpRequest:
+    try:
+        head = raw.split(b"\r\n\r\n", 1)[0].decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise HttpError(f"non-ascii request head: {exc}") from exc
+    lines = head.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or parts[2] not in ("HTTP/1.0", "HTTP/1.1"):
+        raise HttpError(f"bad request line: {lines[0]!r}")
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise HttpError(f"bad header line: {line!r}")
+        name, value = line.split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+    return HttpRequest(method=parts[0], path=parts[1], headers=headers)
+
+
+def build_response(body: bytes, status: str = "200 OK") -> bytes:
+    return (f"HTTP/1.1 {status}\r\nServer: repro-apache/2.0\r\n"
+            f"Content-Type: text/html\r\nContent-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode() + body
+
+
+def parse_response(raw: bytes) -> Tuple[str, bytes]:
+    """Return (status-line, body)."""
+    if b"\r\n\r\n" not in raw:
+        raise HttpError("truncated response")
+    head, body = raw.split(b"\r\n\r\n", 1)
+    status = head.split(b"\r\n", 1)[0].decode("ascii", "replace")
+    return status, body
+
+
+class ApacheWorker:
+    """The request-handling part of the simulated web server.
+
+    Given decrypted request bytes, charges the modelled httpd cost, parses
+    the request, and produces the response body for the SSL layer to
+    encrypt.  Document sizes are encoded in the synthetic path
+    (``/doc-<size>-<i>.html``), mirroring the fixed-file workloads of the
+    paper's client.
+    """
+
+    def __init__(self, costs: SystemCostModel,
+                 expected_size: Optional[int] = None):
+        self._costs = costs
+        self._expected_size = expected_size
+
+    def handle(self, request_bytes: bytes) -> bytes:
+        try:
+            request = parse_request(request_bytes)
+        except HttpError:
+            return build_response(b"<html>bad request</html>",
+                                  "400 Bad Request")
+        if request.method != "GET":
+            return build_response(b"<html>method not allowed</html>",
+                                  "405 Method Not Allowed")
+        size = self._expected_size
+        if size is None:
+            size = _size_from_path(request.path)
+        if size is None:
+            return build_response(b"<html>not found</html>", "404 Not Found")
+        body = document_bytes(request.path, size)
+        perf.charge_cycles(self._costs.httpd_cycles(size / 1024.0),
+                           function="apache_worker", module=perf.HTTPD)
+        return build_response(body)
+
+
+def _size_from_path(path: str) -> Optional[int]:
+    # Synthetic documents are named /doc-<size>-<i>.html
+    if not path.startswith("/doc-"):
+        return None
+    try:
+        return int(path.split("-")[1])
+    except (IndexError, ValueError):
+        return None

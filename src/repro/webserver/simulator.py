@@ -1,0 +1,211 @@
+"""The HTTPS web-server experiment (setup 3.1 of the paper).
+
+Runs a stream of HTTPS transactions against a simulated Apache+Linux stack:
+the SSL processing is the real instrumented protocol implementation; the
+kernel/httpd/libc components are the calibrated cost models of
+:mod:`repro.webserver.costs`.  Measurements are taken on the *server* side
+(its profiler), exactly as in the paper; the client runs under a separate,
+discarded profiler.
+
+Regenerates the data behind Table 1 (module breakdown) and Figure 2
+(crypto-category split versus request size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .. import perf
+from ..crypto.rand import PseudoRandom
+from ..crypto.rsa import RsaPrivateKey
+from ..perf.categories import crypto_breakdown
+from ..ssl.ciphersuites import CipherSuite, DEFAULT_SUITE
+from ..ssl.client import SslClient
+from ..ssl.loopback import make_server_identity, pump
+from ..ssl.server import SslServer
+from ..ssl.session import SessionCache, SslSession
+from ..ssl.x509 import Certificate
+from .costs import DEFAULT_COSTS, SystemCostModel
+from .httpd import ApacheWorker, build_request, parse_response
+from .workload import Request, RequestWorkload
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate measurements of one simulation run."""
+
+    profiler: perf.Profiler
+    requests_completed: int = 0
+    bytes_served: int = 0
+    resumed_handshakes: int = 0
+    failures: int = 0
+
+    def module_shares(self) -> Dict[str, float]:
+        """Module -> share of total cycles (Table 1)."""
+        return {name: share
+                for name, _, share in self.profiler.module_breakdown()}
+
+    def crypto_category_shares(self) -> Dict[str, float]:
+        """Crypto category -> share of libcrypto cycles (Figure 2)."""
+        breakdown = crypto_breakdown(self.profiler)
+        total = sum(breakdown.values()) or 1.0
+        return {k: v / total for k, v in breakdown.items()}
+
+    def cycles_per_request(self) -> float:
+        if not self.requests_completed:
+            return 0.0
+        return self.profiler.total_cycles() / self.requests_completed
+
+    HANDSHAKE_REGIONS = (
+        "init", "get_client_hello", "send_server_hello",
+        "send_server_cert", "send_server_kx", "send_server_done",
+        "get_client_kx", "get_finished", "send_cipher_spec",
+        "send_finished", "server_flush",
+    )
+
+    def phase_breakdown(self) -> Dict[str, float]:
+        """Cycles split into handshake / bulk transfer / everything else.
+
+        The handshake share is the sum of the Table 2 step regions; bulk
+        is the record-layer data path; "system" is the modelled kernel,
+        httpd and libc work plus whatever falls outside both.
+        """
+        handshake = sum(self.profiler.region_cycles(r)
+                        for r in self.HANDSHAKE_REGIONS)
+        bulk = self.profiler.region_cycles("bulk_transfer")
+        total = self.profiler.total_cycles()
+        return {"handshake": handshake, "bulk": bulk,
+                "system": max(0.0, total - handshake - bulk)}
+
+
+class WebServerSimulator:
+    """Drives HTTPS transactions through the full stack."""
+
+    def __init__(self, *, suite: CipherSuite = DEFAULT_SUITE,
+                 key: Optional[RsaPrivateKey] = None,
+                 cert: Optional[Certificate] = None,
+                 costs: SystemCostModel = DEFAULT_COSTS,
+                 use_crt: bool = False,
+                 version: int = 0x0300,
+                 seed: bytes = b"webserver"):
+        """``use_crt`` defaults to False: the paper's handshake
+        measurements (Tables 1-3) are consistent with a non-CRT private
+        operation; see DESIGN.md.  ``version`` is the protocol the
+        simulated curl client offers (SSLv3, the paper's setup, or TLS
+        1.0)."""
+        if key is None or cert is None:
+            key, cert = make_server_identity(1024, seed=seed + b"-identity")
+        key.use_crt = use_crt
+        self._key = key
+        self._cert = cert
+        self._suite = suite
+        self._costs = costs
+        self._version = version
+        self._seed = seed
+        self._session_cache = SessionCache()
+        self._client_sessions: List[SslSession] = []
+
+    # -- one connection (one or more requests) ----------------------------------
+    def _run_connection(self, requests: List[Request],
+                        server_prof: perf.Profiler,
+                        result: SimulationResult) -> None:
+        client_prof = perf.Profiler()  # client machine: separate, discarded
+        total_kb = sum(r.size_bytes for r in requests) / 1024.0
+
+        # Kernel TCP connection setup + per-byte processing (vmlinux).
+        with perf.activate(server_prof):
+            perf.charge_cycles(self._costs.kernel_cycles(total_kb),
+                               function="tcp_stack", module=perf.VMLINUX)
+            perf.charge_cycles(self._costs.other_cycles(total_kb),
+                               function="libc_misc", module=perf.OTHER)
+
+        resume = None
+        if requests[0].resumable and self._client_sessions:
+            resume = self._client_sessions[-1]
+
+        with perf.activate(server_prof):
+            server = SslServer(self._key, self._cert, suites=(self._suite,),
+                               session_cache=self._session_cache,
+                               rng=PseudoRandom(self._seed + b"-s"))
+        with perf.activate(client_prof):
+            client = SslClient(suites=(self._suite,), session=resume,
+                               version=self._version,
+                               rng=PseudoRandom(self._seed + b"-c"))
+            client.start_handshake()
+        pump(client, server, client_prof, server_prof)
+        if not server.handshake_complete:
+            result.failures += len(requests)
+            return
+        if server.resumed:
+            result.resumed_handshakes += 1
+
+        # One or more HTTP requests over the same encrypted channel
+        # (keep-alive: the handshake amortizes across them).
+        for request in requests:
+            with perf.activate(client_prof):
+                client.write(build_request(request.path))
+                wire = client.pending_output()
+            with perf.activate(server_prof):
+                server.receive(wire)
+                worker = ApacheWorker(self._costs, request.size_bytes)
+                response = worker.handle(server.read())
+                server.write(response)
+                wire = server.pending_output()
+            with perf.activate(client_prof):
+                client.receive(wire)
+                status, body = parse_response(client.read())
+                if not status.startswith("HTTP/1.1 200"):
+                    result.failures += 1
+                    continue
+            result.requests_completed += 1
+            result.bytes_served += len(body)
+
+        with perf.activate(client_prof):
+            client.close()
+            wire = client.pending_output()
+        with perf.activate(server_prof):
+            server.receive(wire)
+            server.close()
+
+        if client.session is not None:
+            self._client_sessions.append(client.session)
+
+    # -- the experiment ------------------------------------------------------------
+    def run(self, workload: RequestWorkload, nrequests: int,
+            requests_per_connection: int = 1) -> SimulationResult:
+        """Process ``nrequests`` transactions; returns server-side results.
+
+        ``requests_per_connection > 1`` enables HTTP keep-alive: the
+        paper's per-request full handshake (Table 1) corresponds to 1;
+        long B2B-style sessions amortize the handshake across many
+        requests.
+        """
+        if requests_per_connection < 1:
+            raise ValueError("requests_per_connection must be >= 1")
+        server_prof = perf.Profiler()
+        result = SimulationResult(profiler=server_prof)
+        batch: List[Request] = []
+        for request in workload.requests(nrequests):
+            batch.append(request)
+            if len(batch) == requests_per_connection:
+                self._run_connection(batch, server_prof, result)
+                batch = []
+        if batch:
+            self._run_connection(batch, server_prof, result)
+        return result
+
+
+def run_experiment(file_size_bytes: int, nrequests: int = 3, *,
+                   suite: CipherSuite = DEFAULT_SUITE,
+                   use_crt: bool = False,
+                   resumption_rate: float = 0.0,
+                   key: Optional[RsaPrivateKey] = None,
+                   cert: Optional[Certificate] = None,
+                   ) -> SimulationResult:
+    """Convenience wrapper: fixed-size workload, fresh simulator."""
+    sim = WebServerSimulator(suite=suite, use_crt=use_crt, key=key,
+                             cert=cert)
+    workload = RequestWorkload.fixed(file_size_bytes,
+                                     resumption_rate=resumption_rate)
+    return sim.run(workload, nrequests)

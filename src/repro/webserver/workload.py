@@ -1,0 +1,84 @@
+"""Workload generation: the request stream the curl-based client issues.
+
+The paper's client "makes HTTP requests as fast as the server can handle
+them" for fixed file sizes (1 KB in Table 1, swept 1-32 KB in Figure 2).
+Beyond fixed sizes, :class:`RequestWorkload` supports mixes so the example
+applications can model more realistic distributions (e.g. a banking-style
+small-transfer workload versus a B2B bulk-transfer workload, the two
+regimes the paper contrasts in its conclusions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from ..crypto.rand import PseudoRandom
+
+
+@dataclass(frozen=True)
+class Request:
+    """One HTTP request in the stream."""
+
+    path: str
+    size_bytes: int
+    resumable: bool = False  # client will offer its cached session
+
+
+def document_bytes(path: str, size: int) -> bytes:
+    """Deterministic pseudo-content for a served document."""
+    unit = (f"<!-- {path} -->" + "0123456789abcdef" * 4).encode()
+    reps = size // len(unit) + 1
+    return (unit * reps)[:size]
+
+
+class RequestWorkload:
+    """A reproducible stream of requests."""
+
+    def __init__(self, size_mix: Sequence[Tuple[int, float]],
+                 resumption_rate: float = 0.0,
+                 seed: bytes = b"workload"):
+        """``size_mix``: (size_bytes, weight) pairs; weights need not sum
+        to 1.  ``resumption_rate``: fraction of requests that reuse an SSL
+        session (0 reproduces the paper's full-handshake-per-request
+        setup)."""
+        if not size_mix:
+            raise ValueError("size mix must not be empty")
+        if not 0.0 <= resumption_rate <= 1.0:
+            raise ValueError("resumption rate must be in [0, 1]")
+        total = float(sum(w for _, w in size_mix))
+        if total <= 0:
+            raise ValueError("size mix weights must be positive")
+        self._sizes = [(s, w / total) for s, w in size_mix]
+        self._resumption_rate = resumption_rate
+        self._rng = PseudoRandom(seed)
+
+    @classmethod
+    def fixed(cls, size_bytes: int, resumption_rate: float = 0.0,
+              seed: bytes = b"workload") -> "RequestWorkload":
+        """The paper's workload: every request fetches the same file."""
+        return cls([(size_bytes, 1.0)], resumption_rate, seed)
+
+    def _pick_size(self) -> int:
+        x = self._rng.int_below(1_000_000) / 1_000_000.0
+        acc = 0.0
+        for size, share in self._sizes:
+            acc += share
+            if x < acc:
+                return size
+        return self._sizes[-1][0]
+
+    def requests(self, count: int) -> Iterator[Request]:
+        """Yield ``count`` requests."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for i in range(count):
+            size = self._pick_size()
+            resume = (self._resumption_rate > 0.0
+                      and self._rng.int_below(1_000_000) / 1_000_000.0
+                      < self._resumption_rate)
+            yield Request(path=f"/doc-{size}-{i}.html", size_bytes=size,
+                          resumable=resume)
+
+    def as_list(self, count: int) -> List[Request]:
+        return list(self.requests(count))

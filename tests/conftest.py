@@ -1,0 +1,53 @@
+"""Shared fixtures.
+
+Every test runs under its own freshly activated profiler so that cycle
+accounting from one test can never leak into another, and expensive RSA
+identities are generated once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import perf
+from repro.crypto.rand import PseudoRandom
+from repro.crypto.rsa import generate_key
+from repro.ssl.x509 import make_self_signed
+
+
+@pytest.fixture(autouse=True)
+def isolated_profiler():
+    """Activate a fresh profiler for the duration of each test."""
+    profiler = perf.Profiler()
+    with perf.activate(profiler):
+        yield profiler
+
+
+@pytest.fixture(scope="session")
+def rsa512():
+    """A deterministic 512-bit RSA key (fast; for protocol tests)."""
+    return generate_key(512, rng=PseudoRandom(b"fixture-512"))
+
+
+@pytest.fixture(scope="session")
+def rsa1024():
+    """A deterministic 1024-bit RSA key (the paper's size)."""
+    return generate_key(1024, rng=PseudoRandom(b"fixture-1024"))
+
+
+@pytest.fixture(scope="session")
+def identity512(rsa512):
+    """(key, certificate) pair with a 512-bit key."""
+    return rsa512, make_self_signed("CN=test-server-512", rsa512)
+
+
+@pytest.fixture(scope="session")
+def identity1024(rsa1024):
+    """(key, certificate) pair with the paper's 1024-bit key."""
+    return rsa1024, make_self_signed("CN=test-server-1024", rsa1024)
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic PRNG, fresh per test."""
+    return PseudoRandom(b"test-rng")

@@ -1,0 +1,88 @@
+"""Barrett reduction: correctness, even-modulus support, cost comparison."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import perf
+from repro.bignum import BigNum, mod_exp
+from repro.bignum.barrett import BarrettContext, mod_exp_barrett
+
+modulus_any = st.integers(2**64, 2**256)  # odd or even
+
+
+class TestBarrettReduce:
+    @given(modulus_any, st.integers(0, 2**256), st.integers(0, 2**256))
+    @settings(max_examples=40, deadline=None)
+    def test_mod_mul_matches(self, m, a, b):
+        ctx = BarrettContext(BigNum.from_int(m))
+        a, b = a % m, b % m
+        got = ctx.mod_mul(BigNum.from_int(a), BigNum.from_int(b))
+        assert got.to_int() == (a * b) % m
+
+    @given(modulus_any)
+    @settings(max_examples=25, deadline=None)
+    def test_reduce_near_m_squared(self, m):
+        """The x < m^2 precondition boundary."""
+        ctx = BarrettContext(BigNum.from_int(m))
+        for x in (m * m - 1, m * m - m, m, m - 1, 0):
+            assert ctx.reduce(BigNum.from_int(x)).to_int() == x % m
+
+    def test_already_reduced_fast_path(self):
+        ctx = BarrettContext(BigNum.from_int(10**40))
+        small = BigNum.from_int(12345)
+        assert ctx.reduce(small).to_int() == 12345
+
+    def test_zero_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            BarrettContext(BigNum.zero())
+
+
+class TestBarrettModExp:
+    @given(modulus_any, st.integers(0, 2**256), st.integers(0, 2**48))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_pow(self, m, base, e):
+        got = mod_exp_barrett(BigNum.from_int(base % m),
+                              BigNum.from_int(e), BigNum.from_int(m))
+        assert got.to_int() == pow(base % m, e, m)
+
+    def test_even_modulus_works(self):
+        """Barrett's advantage: no odd-modulus restriction."""
+        m = 1 << 200
+        got = mod_exp_barrett(BigNum.from_int(3), BigNum.from_int(1000),
+                              BigNum.from_int(m))
+        assert got.to_int() == pow(3, 1000, m)
+        with pytest.raises(ValueError):
+            mod_exp(BigNum.from_int(3), BigNum.from_int(1000),
+                    BigNum.from_int(m))
+
+    def test_exponent_zero_and_one(self):
+        m = BigNum.from_int(97 * 89)
+        assert mod_exp_barrett(BigNum.from_int(5), BigNum.zero(),
+                               m).to_int() == 1
+        assert mod_exp_barrett(BigNum.from_int(5), BigNum.one(),
+                               m).to_int() == 5
+
+    def test_agrees_with_montgomery(self):
+        m = BigNum.from_int((1 << 256) + 297)  # odd: both paths legal
+        base, e = BigNum.from_int(123456789), BigNum.from_int((1 << 64) - 3)
+        assert mod_exp_barrett(base, e, m) == mod_exp(base, e, m)
+
+    def test_montgomery_wins_on_cost(self):
+        """The reason the RSA hot path is Montgomery: ~3 products per
+        modmul against Montgomery's interleaved ~2."""
+        m = BigNum.from_int((1 << 512) + 75)
+        e = BigNum.from_int((1 << 128) - 1)
+        pb, pm = perf.Profiler(), perf.Profiler()
+        with perf.activate(pb):
+            mod_exp_barrett(BigNum.from_int(7), e, m)
+        with perf.activate(pm):
+            mod_exp(BigNum.from_int(7), e, m)
+        ratio = pb.total_cycles() / pm.total_cycles()
+        assert 1.2 < ratio < 2.0
+
+    def test_charged_under_recp_names(self, isolated_profiler):
+        m = BigNum.from_int((1 << 128) + 1)
+        mod_exp_barrett(BigNum.from_int(3), BigNum.from_int(1 << 40), m)
+        names = set(isolated_profiler.functions)
+        assert "BN_mod_mul_reciprocal" in names
+        assert "BN_mod_exp_recp" in names

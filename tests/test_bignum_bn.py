@@ -1,0 +1,229 @@
+"""Unit + property tests for BigNum arithmetic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bignum import BigNum, mod_inverse
+
+nat = st.integers(0, 2**512)
+pos = st.integers(1, 2**512)
+
+
+class TestConstruction:
+    def test_zero(self):
+        z = BigNum.zero()
+        assert z.is_zero()
+        assert z.to_int() == 0
+        assert z.nwords() == 0
+        assert z.nbits() == 0
+
+    def test_one(self):
+        assert BigNum.one().to_int() == 1
+
+    def test_leading_zero_words_trimmed(self):
+        assert BigNum([1, 0, 0]).nwords() == 1
+
+    @given(nat)
+    def test_int_roundtrip(self, v):
+        assert BigNum.from_int(v).to_int() == v
+
+    @given(st.binary(max_size=64))
+    def test_bytes_roundtrip_modulo_leading_zeros(self, data):
+        bn = BigNum.from_bytes(data)
+        assert bn.to_int() == int.from_bytes(data, "big") if data else True
+
+    def test_to_bytes_padding(self):
+        assert BigNum.from_int(0x1234).to_bytes(4) == b"\x00\x00\x124"
+
+    def test_to_bytes_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            BigNum.from_int(1 << 64).to_bytes(4)
+
+    @given(nat)
+    def test_nbits_matches_python(self, v):
+        assert BigNum.from_int(v).nbits() == v.bit_length()
+
+    @given(nat)
+    def test_bit_accessor(self, v):
+        bn = BigNum.from_int(v)
+        for i in (0, 1, 17, 100, 511):
+            assert bn.bit(i) == (v >> i) & 1
+
+    def test_is_odd(self):
+        assert BigNum.from_int(7).is_odd()
+        assert not BigNum.from_int(8).is_odd()
+        assert not BigNum.zero().is_odd()
+
+
+class TestComparison:
+    @given(nat, nat)
+    def test_ucmp_matches_python(self, a, b):
+        expect = (a > b) - (a < b)
+        assert BigNum.from_int(a).ucmp(BigNum.from_int(b)) == expect
+
+    @given(nat, nat)
+    def test_ordering_operators(self, a, b):
+        A, B = BigNum.from_int(a), BigNum.from_int(b)
+        assert (A < B) == (a < b)
+        assert (A <= B) == (a <= b)
+        assert (A == B) == (a == b)
+
+    def test_hashable(self):
+        assert len({BigNum.from_int(5), BigNum.from_int(5),
+                    BigNum.from_int(6)}) == 2
+
+
+class TestArithmetic:
+    @given(nat, nat)
+    def test_uadd(self, a, b):
+        assert BigNum.from_int(a).uadd(BigNum.from_int(b)).to_int() == a + b
+
+    @given(nat, nat)
+    def test_usub(self, a, b):
+        hi, lo = max(a, b), min(a, b)
+        assert BigNum.from_int(hi).usub(
+            BigNum.from_int(lo)).to_int() == hi - lo
+
+    def test_usub_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BigNum.from_int(1).usub(BigNum.from_int(2))
+
+    @given(nat, nat)
+    @settings(max_examples=60)
+    def test_mul(self, a, b):
+        assert BigNum.from_int(a).mul(BigNum.from_int(b)).to_int() == a * b
+
+    def test_mul_by_zero(self):
+        assert BigNum.from_int(12345).mul(BigNum.zero()).is_zero()
+
+    @given(nat)
+    @settings(max_examples=60)
+    def test_sqr_matches_mul(self, a):
+        A = BigNum.from_int(a)
+        assert A.sqr().to_int() == a * a
+
+    def test_sqr_zero_and_one(self):
+        assert BigNum.zero().sqr().is_zero()
+        assert BigNum.one().sqr().to_int() == 1
+
+    @given(nat, pos)
+    def test_divmod(self, a, m):
+        q, r = BigNum.from_int(a).divmod(BigNum.from_int(m))
+        assert q.to_int() == a // m
+        assert r.to_int() == a % m
+
+    def test_divmod_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            BigNum.from_int(5).divmod(BigNum.zero())
+
+    @given(nat, pos)
+    def test_mod(self, a, m):
+        assert BigNum.from_int(a).mod(BigNum.from_int(m)).to_int() == a % m
+
+    def test_copy_is_independent(self):
+        a = BigNum.from_int(42)
+        b = a.copy()
+        b.d.append(99)
+        assert a.to_int() == 42
+
+    def test_cleanse_zeroizes(self):
+        a = BigNum.from_int(1 << 200)
+        a.cleanse()
+        assert a.is_zero()
+
+
+class TestShifts:
+    @given(nat, st.integers(0, 8))
+    def test_word_shifts(self, v, k):
+        bn = BigNum.from_int(v)
+        assert bn.lshift_words(k).to_int() == v << (32 * k)
+        assert bn.rshift_words(k).to_int() == v >> (32 * k)
+
+    @given(nat, st.integers(0, 8))
+    def test_mask_words(self, v, k):
+        assert BigNum.from_int(v).mask_words(k).to_int() == \
+            v % (1 << (32 * k))
+
+
+class TestModInverse:
+    @given(st.integers(3, 2**256).filter(lambda x: x % 2 == 1),
+           st.integers(1, 2**256))
+    @settings(max_examples=40)
+    def test_inverse_property(self, m, a):
+        a = a | 1  # ensure odd vs odd m is usually coprime; skip otherwise
+        import math
+        if math.gcd(a, m) != 1:
+            return
+        inv = mod_inverse(BigNum.from_int(a), BigNum.from_int(m))
+        assert (inv.to_int() * a) % m == 1
+
+    def test_non_coprime_rejected(self):
+        with pytest.raises(ValueError, match="coprime"):
+            mod_inverse(BigNum.from_int(6), BigNum.from_int(9))
+
+    def test_zero_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            mod_inverse(BigNum.from_int(3), BigNum.zero())
+
+
+class TestChargeAttribution:
+    def test_mul_charges_kernel_functions(self, isolated_profiler):
+        BigNum.from_int(2**200).mul(BigNum.from_int(2**200))
+        names = set(isolated_profiler.functions)
+        assert "bn_mul_add_words" in names or "bn_mul_words" in names
+        assert "BN_mul" in names
+
+    def test_sqr_charges_sqr_words(self, isolated_profiler):
+        BigNum.from_int(2**200 + 17).sqr()
+        assert "bn_sqr_words" in isolated_profiler.functions
+
+    def test_division_charges_bn_div(self, isolated_profiler):
+        BigNum.from_int(2**300).divmod(BigNum.from_int(2**100 + 3))
+        assert "BN_div" in isolated_profiler.functions
+
+
+class TestAlgebraicLaws:
+    """Ring laws over the word-array arithmetic (hypothesis)."""
+
+    @given(nat, nat, nat)
+    @settings(max_examples=40, deadline=None)
+    def test_mul_distributes_over_add(self, a, b, c):
+        A, B, C = (BigNum.from_int(v) for v in (a, b, c))
+        left = A.mul(B.uadd(C))
+        right = A.mul(B).uadd(A.mul(C))
+        assert left == right
+
+    @given(nat, nat)
+    @settings(max_examples=40, deadline=None)
+    def test_mul_commutes(self, a, b):
+        A, B = BigNum.from_int(a), BigNum.from_int(b)
+        assert A.mul(B) == B.mul(A)
+
+    @given(nat, nat, nat)
+    @settings(max_examples=25, deadline=None)
+    def test_mul_associates(self, a, b, c):
+        A, B, C = (BigNum.from_int(v) for v in (a, b, c))
+        assert A.mul(B).mul(C) == A.mul(B.mul(C))
+
+    @given(nat, pos)
+    @settings(max_examples=40, deadline=None)
+    def test_divmod_reconstructs(self, a, m):
+        A, M = BigNum.from_int(a), BigNum.from_int(m)
+        q, r = A.divmod(M)
+        assert q.mul(M).uadd(r) == A
+        assert r < M
+
+    @given(nat, nat, pos)
+    @settings(max_examples=25, deadline=None)
+    def test_modular_reduction_homomorphism(self, a, b, m):
+        A, B, M = (BigNum.from_int(v) for v in (a, b, m))
+        direct = A.mul(B).mod(M)
+        reduced = A.mod(M).mul(B.mod(M)).mod(M)
+        assert direct == reduced
+
+    @given(nat)
+    @settings(max_examples=30, deadline=None)
+    def test_add_sub_inverse(self, a):
+        A = BigNum.from_int(a)
+        B = BigNum.from_int(a // 2 + 1)
+        assert A.uadd(B).usub(B) == A

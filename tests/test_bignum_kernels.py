@@ -1,0 +1,125 @@
+"""Unit + property tests for the word-level bignum kernels."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bignum import kernels as K
+from repro.bignum.kernels import WORD_BASE, WORD_MASK
+
+words = st.lists(st.integers(0, WORD_MASK), min_size=1, max_size=12)
+word = st.integers(0, WORD_MASK)
+
+
+def to_int(ws):
+    return K.int_from_words(ws)
+
+
+class TestMulAddWords:
+    def test_simple(self):
+        r = [5, 0, 0]
+        c = K.mul_add_words(r, 0, [3, 0, 0], 0, 3, 7)
+        assert c == 0
+        assert to_int(r) == 5 + 3 * 7
+
+    def test_carry_out(self):
+        r = [WORD_MASK]
+        c = K.mul_add_words(r, 0, [WORD_MASK], 0, 1, WORD_MASK)
+        total = WORD_MASK + WORD_MASK * WORD_MASK
+        assert to_int([r[0]]) + c * WORD_BASE == total
+
+    def test_offsets(self):
+        r = [0, 0, 0, 0]
+        K.mul_add_words(r, 1, [0, 9], 1, 1, 4)
+        assert r == [0, 36, 0, 0]
+
+    @given(words, word)
+    def test_matches_int_arithmetic(self, a, w):
+        n = len(a)
+        r = [0] * n
+        acc_before = 0
+        c = K.mul_add_words(r, 0, a, 0, n, w)
+        value = to_int(r) + (c << (32 * n))
+        assert value == acc_before + to_int(a) * w
+
+    @given(words, words, word)
+    def test_accumulates_existing(self, a, r0, w):
+        n = min(len(a), len(r0))
+        r = list(r0[:n])
+        before = to_int(r)
+        c = K.mul_add_words(r, 0, a, 0, n, w)
+        assert to_int(r) + (c << (32 * n)) == before + to_int(a[:n]) * w
+
+
+class TestMulWords:
+    @given(words, word)
+    def test_matches_int_arithmetic(self, a, w):
+        n = len(a)
+        r = [99] * n  # must be overwritten
+        c = K.mul_words(r, 0, a, 0, n, w)
+        assert to_int(r) + (c << (32 * n)) == to_int(a) * w
+
+
+class TestAddSubWords:
+    @given(words, words)
+    def test_add_matches_int(self, a, b):
+        n = min(len(a), len(b))
+        r = [0] * n
+        c = K.add_words(r, a, b, n)
+        assert to_int(r) + (c << (32 * n)) == to_int(a[:n]) + to_int(b[:n])
+
+    @given(words, words)
+    def test_sub_matches_int(self, a, b):
+        n = min(len(a), len(b))
+        r = [0] * n
+        borrow = K.sub_words(r, a, b, n)
+        expected = to_int(a[:n]) - to_int(b[:n])
+        if borrow:
+            expected += 1 << (32 * n)
+        assert to_int(r) == expected
+
+    def test_sub_borrow_flag(self):
+        r = [0]
+        assert K.sub_words(r, [1], [2], 1) == 1
+        assert K.sub_words(r, [2], [1], 1) == 0
+
+
+class TestPropagateCarry:
+    def test_ripple(self):
+        r = [WORD_MASK, WORD_MASK, 5]
+        escaped = K.propagate_carry(r, 0, 1)
+        assert escaped == 0
+        assert r == [0, 0, 6]
+
+    def test_escape(self):
+        r = [WORD_MASK]
+        assert K.propagate_carry(r, 0, 1) == 1
+        assert r == [0]
+
+    def test_zero_carry_is_noop(self):
+        r = [1, 2]
+        assert K.propagate_carry(r, 0, 0) == 0
+        assert r == [1, 2]
+
+
+class TestConversions:
+    @given(st.integers(0, 2**512))
+    def test_int_roundtrip(self, value):
+        assert to_int(K.words_from_int(value)) == value
+
+    def test_padding(self):
+        ws = K.words_from_int(7, nwords=4)
+        assert ws == [7, 0, 0, 0]
+
+    def test_padding_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            K.words_from_int(1 << 64, nwords=1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            K.words_from_int(-1)
+
+    def test_table9_mix_is_the_papers_nine_instructions(self):
+        # Table 9: 4x movl, 1x mull, 2x addl, 2x adcl in the inner loop.
+        core = {k: v for k, v in K.MULADD_WORD.counts.items()
+                if k in ("movl", "mull", "addl", "adcl")}
+        assert core == {"movl": 4.0, "mull": 1.0, "addl": 2.0, "adcl": 2.0}

@@ -1,0 +1,120 @@
+"""Unit + property tests for Montgomery arithmetic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bignum import BigNum, MontgomeryContext
+
+odd_modulus = st.integers(3, 2**256).map(lambda x: x | 1)
+
+
+class TestContext:
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            MontgomeryContext(BigNum.from_int(100))
+
+    def test_zero_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            MontgomeryContext(BigNum.zero())
+
+    def test_n0_is_word_negative_inverse(self):
+        m = 0xF123456789ABCDEF | 1
+        ctx = MontgomeryContext(BigNum.from_int(m))
+        w0 = m & 0xFFFFFFFF
+        assert (ctx.n0 * w0) % (1 << 32) == (-1) % (1 << 32)
+
+    @given(odd_modulus)
+    @settings(max_examples=30)
+    def test_rr_is_r_squared_mod_n(self, m):
+        ctx = MontgomeryContext(BigNum.from_int(m))
+        r = 1 << (32 * ctx.nwords)
+        assert ctx.rr.to_int() == (r * r) % m
+
+
+class TestOperations:
+    @given(odd_modulus, st.integers(0, 2**256))
+    @settings(max_examples=40)
+    def test_to_from_roundtrip(self, m, a):
+        ctx = MontgomeryContext(BigNum.from_int(m))
+        a %= m
+        back = ctx.from_mont(ctx.to_mont(BigNum.from_int(a)))
+        assert back.to_int() == a
+
+    @given(odd_modulus, st.integers(0, 2**256), st.integers(0, 2**256))
+    @settings(max_examples=40)
+    def test_mul_matches_modular_product(self, m, a, b):
+        ctx = MontgomeryContext(BigNum.from_int(m))
+        a, b = a % m, b % m
+        am = ctx.to_mont(BigNum.from_int(a))
+        bm = ctx.to_mont(BigNum.from_int(b))
+        product = ctx.from_mont(ctx.mul(am, bm))
+        assert product.to_int() == (a * b) % m
+
+    @given(odd_modulus, st.integers(0, 2**256))
+    @settings(max_examples=30)
+    def test_sqr_matches_mul(self, m, a):
+        ctx = MontgomeryContext(BigNum.from_int(m))
+        am = ctx.to_mont(BigNum.from_int(a % m))
+        assert ctx.sqr(am).to_int() == ctx.mul(am, am).to_int()
+
+    @given(odd_modulus)
+    @settings(max_examples=30)
+    def test_one_is_montgomery_form_of_one(self, m):
+        ctx = MontgomeryContext(BigNum.from_int(m))
+        assert ctx.from_mont(ctx.one()).to_int() == 1 % m
+
+    def test_result_always_reduced(self):
+        # Exercise the conditional-subtract path with values near n.
+        m = (1 << 128) - 159  # odd
+        ctx = MontgomeryContext(BigNum.from_int(m))
+        for a in (m - 1, m - 2, 1, 2):
+            am = ctx.to_mont(BigNum.from_int(a))
+            sq = ctx.mul(am, am)
+            assert sq.to_int() < m
+
+    def test_charges_the_papers_functions(self, isolated_profiler):
+        m = (1 << 128) + 1
+        ctx = MontgomeryContext(BigNum.from_int(m))
+        a = ctx.to_mont(BigNum.from_int(12345))
+        ctx.mul(a, a)
+        names = set(isolated_profiler.functions)
+        assert {"bn_mul_add_words", "bn_sub_words",
+                "BN_from_montgomery"} <= names
+
+
+class TestSeparateReduction:
+    """The OpenSSL 0.9.7-style reduction must agree with the interleaved
+    one bit-for-bit and cost visibly more."""
+
+    @given(odd_modulus, st.integers(0, 2**256), st.integers(0, 2**256))
+    @settings(max_examples=30)
+    def test_agrees_with_interleaved(self, m, a, b):
+        mod = BigNum.from_int(m)
+        fast = MontgomeryContext(mod, reduction="interleaved")
+        compat = MontgomeryContext(mod, reduction="separate")
+        a, b = a % m, b % m
+        fast_result = fast.from_mont(fast.mul(fast.to_mont(BigNum.from_int(a)),
+                                              fast.to_mont(BigNum.from_int(b))))
+        compat_result = compat.from_mont(
+            compat.mul(compat.to_mont(BigNum.from_int(a)),
+                       compat.to_mont(BigNum.from_int(b))))
+        assert fast_result == compat_result
+        assert fast_result.to_int() == (a * b) % m
+
+    def test_costs_more(self):
+        from repro import perf
+        m = BigNum.from_int((1 << 512) + 75)
+        costs = {}
+        for style in ("interleaved", "separate"):
+            ctx = MontgomeryContext(m, reduction=style)
+            x = ctx.to_mont(BigNum.from_int(12345))
+            p = perf.Profiler()
+            with perf.activate(p):
+                for _ in range(8):
+                    x = ctx.mul(x, x)
+            costs[style] = p.total_cycles()
+        assert 1.3 < costs["separate"] / costs["interleaved"] < 2.5
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError, match="reduction"):
+            MontgomeryContext(BigNum.from_int(99), reduction="magic")

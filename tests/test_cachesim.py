@@ -1,0 +1,178 @@
+"""Cache model and kernel working-set residency."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perf.cachesim import (
+    ResidencyResult, SetAssociativeCache, STREAMS, pentium4_l1d, residency,
+)
+
+
+class TestCacheModel:
+    def test_geometry(self):
+        c = pentium4_l1d()
+        assert c.size_bytes == 8192
+        assert c.nsets == 8192 // (64 * 4)
+
+    @pytest.mark.parametrize("bad", [
+        dict(size_bytes=0), dict(line_bytes=0), dict(associativity=0),
+        dict(size_bytes=1000),            # not a multiple of line*assoc
+        dict(line_bytes=48),              # not a power of two
+    ])
+    def test_bad_geometry_rejected(self, bad):
+        kwargs = dict(size_bytes=8192, line_bytes=64, associativity=4)
+        kwargs.update(bad)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(**kwargs)
+
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(1024, 64, 2)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(63)          # same line
+        assert not c.access(64)      # next line
+        assert c.hits == 2 and c.misses == 2
+
+    def test_lru_eviction_within_set(self):
+        c = SetAssociativeCache(256, 64, 2)  # 2 sets, 2 ways
+        set_stride = c.nsets * 64            # same-set stride
+        a, b, d = 0, set_stride, 2 * set_stride
+        c.access(a)
+        c.access(b)
+        c.access(a)       # refresh a -> b is LRU
+        c.access(d)       # evicts b
+        assert c.access(a)
+        assert not c.access(b)
+
+    def test_fully_resident_working_set(self):
+        c = SetAssociativeCache(4096, 64, 4)
+        for _ in range(10):
+            for addr in range(0, 2048, 4):
+                c.access(addr)
+        # After the cold pass, everything hits.
+        assert c.hit_rate() > 0.95
+
+    def test_thrashing_working_set(self):
+        c = SetAssociativeCache(1024, 64, 1)  # direct-mapped, tiny
+        # Two addresses mapping to the same set, alternating: 100% misses
+        # after the cold pass too.
+        stride = c.nsets * 64
+        for _ in range(50):
+            c.access(0)
+            c.access(stride)
+        assert c.hit_rate() < 0.05
+
+    def test_reset_and_flush(self):
+        c = pentium4_l1d()
+        c.access(0)
+        c.reset_stats()
+        assert c.accesses == 0
+        assert c.access(0)   # line still resident
+        c.flush()
+        assert not c.access(0)
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_accounting_invariant(self, addresses):
+        c = SetAssociativeCache(2048, 64, 2)
+        c.access_all(iter(addresses))
+        assert c.hits + c.misses == len(addresses)
+        assert 0.0 <= c.hit_rate() <= 1.0
+
+    @given(st.lists(st.integers(0, 4095), min_size=2, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_small_footprint_mostly_hits(self, addresses):
+        """Any stream confined to a cache-sized region converges to hits."""
+        c = SetAssociativeCache(8192, 64, 4)
+        for _ in range(3):
+            c.access_all(iter(addresses))
+        c.reset_stats()
+        c.access_all(iter(addresses))
+        assert c.hit_rate() == 1.0
+
+
+class TestResidency:
+    @pytest.mark.parametrize("kernel", sorted(STREAMS))
+    def test_all_kernels_l1_resident_at_8kb(self, kernel):
+        """The paper's claim: crypto kernels hit in the P4's 8 KB L1D."""
+        r = residency(kernel, nbytes=8192)
+        assert r.hit_rate > 0.97, (kernel, r.hit_rate)
+
+    def test_aes_breaks_on_tiny_cache(self):
+        """Counterfactual: AES's 4 KB of Te tables thrash a 2 KB cache."""
+        small = residency("aes", 8192, SetAssociativeCache(2048, 64, 4))
+        full = residency("aes", 8192)
+        assert small.hit_rate < 0.8 < full.hit_rate
+
+    def test_rc4_state_fits_anywhere(self):
+        """RC4's 256-byte state survives even a tiny cache."""
+        r = residency("rc4", 8192, SetAssociativeCache(1024, 64, 4))
+        assert r.hit_rate > 0.9
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            residency("chacha20")
+
+    def test_streams_are_deterministic(self):
+        a = list(STREAMS["aes"](1024))
+        b = list(STREAMS["aes"](1024))
+        assert a == b
+
+    def test_result_fields(self):
+        r = residency("md5", 4096)
+        assert isinstance(r, ResidencyResult)
+        assert r.kernel == "md5"
+        assert r.cache_bytes == 8192
+        assert r.accesses > 0
+
+
+class TestHierarchy:
+    def test_amat_near_l1_latency_for_crypto(self):
+        """Steady state (after a warm-up pass): AMAT sits within a tenth
+        of a cycle of the pure L1 hit time -- the basis for the cost
+        model's flat movl pricing."""
+        from repro.perf.cachesim import CacheHierarchy, kernel_amat
+        for kernel in ("aes", "rc4", "md5", "rsa"):
+            h = CacheHierarchy()
+            kernel_amat(kernel, hierarchy=h)   # warm-up (cold misses)
+            h.reset_stats()
+            r = kernel_amat(kernel, hierarchy=h)
+            assert r.l1_hit_rate > 0.99, kernel
+            assert r.amat_cycles < h.l1_hit_cycles + 0.15, \
+                (kernel, r.amat_cycles)
+
+    def test_l2_catches_l1_misses(self):
+        from repro.perf.cachesim import (
+            CacheHierarchy, SetAssociativeCache, kernel_amat,
+        )
+        # Tiny L1: AES thrashes it, but the 512 KB L2 holds the tables.
+        h = CacheHierarchy(l1=SetAssociativeCache(2048, 64, 4))
+        r = kernel_amat("aes", hierarchy=h)
+        assert r.l1_hit_rate < 0.8
+        assert r.l2_hit_rate > 0.9
+        assert r.memory_accesses < 200   # only cold misses reach memory
+        assert r.amat_cycles < 12
+
+    def test_cold_start_memory_accesses(self):
+        from repro.perf.cachesim import kernel_amat
+        r = kernel_amat("aes")
+        # Cold misses for ~4 KB tables + key schedule + data: bounded.
+        assert 0 < r.memory_accesses < 400
+
+    def test_latency_ordering(self):
+        from repro.perf.cachesim import CacheHierarchy
+        h = CacheHierarchy()
+        first = h.access(0)       # cold: memory
+        again = h.access(0)       # L1 hit
+        assert first == h.memory_cycles
+        assert again == h.l1_hit_cycles
+
+    def test_unknown_kernel(self):
+        from repro.perf.cachesim import kernel_amat
+        with pytest.raises(KeyError):
+            kernel_amat("grain128")
+
+    def test_empty_stream(self):
+        from repro.perf.cachesim import CacheHierarchy
+        r = CacheHierarchy().run(iter(()))
+        assert r.accesses == 0 and r.amat_cycles == 0.0

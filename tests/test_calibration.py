@@ -1,0 +1,267 @@
+"""Paper-shape calibration checks.
+
+These tests pin the reproduction to the paper's published numbers: each
+asserts that a measured quantity lands inside a tolerance band around the
+corresponding table/figure value (or that a structural ordering holds).
+EXPERIMENTS.md records the exact measured-versus-paper values; these tests
+keep the shapes from regressing.
+"""
+
+import pytest
+
+from repro.crypto.bench import (
+    aes_block_breakdown, characteristics, des_block_breakdown,
+    hash_phase_breakdown, instruction_mix, key_setup_shares, measure_cipher,
+    measure_rsa, rsa_step_breakdown,
+)
+
+#: Table 11 of the paper: CPI, path length (instr/byte), throughput (MB/s).
+PAPER_TABLE11 = {
+    "aes": (0.66, 50, 51.19),
+    "des": (0.67, 69, 36.95),
+    "3des": (0.66, 194, 13.32),
+    "rc4": (0.57, 14, 211.34),
+    "rsa": (0.77, 61457, 0.036),
+    "md5": (0.72, 12, 197.86),
+    "sha1": (0.52, 24, 135.30),
+}
+
+
+@pytest.fixture(scope="module")
+def table11():
+    return characteristics(nbytes=8192, rsa_bits=1024)
+
+
+class TestTable11:
+    @pytest.mark.parametrize("name", list(PAPER_TABLE11))
+    def test_cpi_within_five_percent(self, table11, name):
+        paper_cpi = PAPER_TABLE11[name][0]
+        assert table11[name].cpi == pytest.approx(paper_cpi, rel=0.05)
+
+    @pytest.mark.parametrize("name,tol", [
+        ("aes", 0.20), ("des", 0.20), ("3des", 0.15), ("rc4", 0.25),
+        ("md5", 0.15), ("sha1", 0.15),
+    ])
+    def test_path_length_within_tolerance(self, table11, name, tol):
+        paper_path = PAPER_TABLE11[name][1]
+        assert table11[name].path_length == pytest.approx(paper_path,
+                                                          rel=tol)
+
+    def test_rsa_path_length_order_of_magnitude(self, table11):
+        # Structural deviation documented in EXPERIMENTS.md: our Montgomery
+        # reduction is word-interleaved (2n^2 multiplies per product) while
+        # OpenSSL 0.9.7d's was two extra full multiplications (3n^2), so our
+        # path is ~2/3 of the paper's 61457 instructions/byte.
+        assert 30_000 < table11["rsa"].path_length < 75_000
+
+    def test_throughput_ordering_matches_paper(self, table11):
+        """Who is faster than whom -- the load-bearing shape."""
+        t = {k: v.throughput_mbps for k, v in table11.items()}
+        assert t["rc4"] > t["md5"] > t["sha1"] > t["aes"] > t["des"] > \
+            t["3des"] > t["rsa"]
+
+    def test_throughput_within_factor(self, table11):
+        """Absolute throughput within 1.6x of the paper (its Table 11 is
+        internally inconsistent by ~1.3x between CPI*path and MB/s)."""
+        for name, (_, _, mbps) in PAPER_TABLE11.items():
+            ratio = table11[name].throughput_mbps / mbps
+            assert 0.6 < ratio < 1.9, (name, ratio)
+
+    def test_aes_cannot_saturate_gigabit(self, table11):
+        """Paper: 'it is still incapable of saturating a network link
+        running at 1Gbps'."""
+        assert table11["aes"].throughput_mbps < 125
+
+    def test_private_key_range_matches_paper_claim(self, table11):
+        """Paper: private-key suite throughput spans ~13 to ~211 MB/s."""
+        assert table11["3des"].throughput_mbps == \
+            min(table11[c].throughput_mbps
+                for c in ("aes", "des", "3des", "rc4"))
+        assert table11["rc4"].throughput_mbps == \
+            max(table11[c].throughput_mbps
+                for c in ("aes", "des", "3des", "rc4"))
+
+
+class TestTable5Aes:
+    def test_128_bit_shares(self):
+        rows = aes_block_breakdown(128)
+        total = sum(c for _, c in rows)
+        shares = [c / total for _, c in rows]
+        assert shares[1] == pytest.approx(0.71, abs=0.06)  # paper: 70.64%
+        assert shares[0] == pytest.approx(0.12, abs=0.05)
+        assert shares[2] == pytest.approx(0.17, abs=0.06)
+
+    def test_256_bit_main_rounds_grow(self):
+        share_128 = _phase_share(aes_block_breakdown(128), 1)
+        share_256 = _phase_share(aes_block_breakdown(256), 1)
+        assert share_256 > share_128          # paper: 70.64% -> 77.91%
+        assert share_256 == pytest.approx(0.78, abs=0.05)
+
+    def test_total_cycles_near_paper(self):
+        total_128 = sum(c for _, c in aes_block_breakdown(128))
+        total_256 = sum(c for _, c in aes_block_breakdown(256))
+        assert total_128 == pytest.approx(562, rel=0.2)   # Table 5
+        assert total_256 == pytest.approx(747, rel=0.2)
+
+    def test_fixed_phases_unchanged_by_key_size(self):
+        """Paper: 'Larger key size only affects the second part'."""
+        r128, r256 = aes_block_breakdown(128), aes_block_breakdown(256)
+        assert r128[0][1] == r256[0][1]
+        assert r128[2][1] == r256[2][1]
+
+    def test_breakdown_consistent_with_execution(self, isolated_profiler):
+        from repro.crypto.aes import AES
+        AES(bytes(16)).encrypt_block(bytes(16))
+        executed = isolated_profiler.functions["AES_encrypt"].cycles
+        modelled = sum(c for _, c in aes_block_breakdown(128))
+        assert executed == pytest.approx(modelled, rel=0.05)
+
+
+class TestTable6Des:
+    def test_des_substitution_share(self):
+        share = _phase_share(des_block_breakdown("des"), 1)
+        assert share == pytest.approx(0.747, abs=0.05)   # paper: 74.74%
+
+    def test_3des_substitution_share(self):
+        share = _phase_share(des_block_breakdown("3des"), 1)
+        assert share == pytest.approx(0.891, abs=0.04)   # paper: 89.1%
+
+    def test_total_cycles_near_paper(self):
+        assert sum(c for _, c in des_block_breakdown("des")) == \
+            pytest.approx(382, rel=0.2)
+        assert sum(c for _, c in des_block_breakdown("3des")) == \
+            pytest.approx(1027, rel=0.2)
+
+    def test_ip_fp_shared_across_variants(self):
+        des_rows, tdes_rows = (des_block_breakdown("des"),
+                               des_block_breakdown("3des"))
+        assert des_rows[0][1] == tdes_rows[0][1]
+        assert des_rows[2][1] == tdes_rows[2][1]
+
+
+class TestTable7Rsa:
+    @pytest.fixture(scope="class")
+    def rsa_1024(self):
+        return measure_rsa(1024, use_crt=True)
+
+    def test_computation_share(self, rsa_1024):
+        rows = dict(rsa_step_breakdown(rsa_1024))
+        total = sum(rows.values())
+        assert rows["computation"] / total > 0.93   # paper: 98.85%
+
+    def test_all_steps_nonzero(self, rsa_1024):
+        for step, cycles in rsa_step_breakdown(rsa_1024):
+            assert cycles > 0, step
+
+    def test_total_cycles_near_paper(self, rsa_1024):
+        # Paper: 6.04M cycles for a 1024-bit op; our interleaved Montgomery
+        # reduction does 2/3 of the 0.9.7 multiply work (see EXPERIMENTS.md).
+        assert 3.5e6 < rsa_1024.cycles < 7.5e6
+
+    def test_512_to_1024_scaling(self):
+        m512 = measure_rsa(512)
+        m1024 = measure_rsa(1024)
+        ratio = m1024.cycles / m512.cycles
+        # CRT cost scales ~n^3: paper measures 5.05x (6.04M / 1.20M).
+        assert 4.0 < ratio < 8.5
+
+    def test_noncrt_matches_handshake_magnitude(self):
+        """Table 2's 18.56M-cycle RSA entry is consistent with non-CRT."""
+        m = measure_rsa(1024, use_crt=False)
+        assert 13e6 < m.cycles < 23e6
+
+
+class TestTable8Functions:
+    def test_top_function_and_membership(self):
+        m = measure_rsa(1024)
+        rows = m.profiler.function_breakdown(top=10)
+        names = [name for name, _, _ in rows]
+        assert names[0] == "bn_mul_add_words"     # paper: 47.04%
+        share = rows[0][2]
+        assert share > 0.40
+        expected_members = {"bn_sub_words", "BN_from_montgomery"}
+        assert expected_members <= set(names)
+
+
+class TestTable10Hashes:
+    @pytest.mark.parametrize("name,update_share", [
+        ("md5", 0.9088), ("sha1", 0.9205),
+    ])
+    def test_update_dominates(self, name, update_share):
+        rows = dict(hash_phase_breakdown(name, 1024))
+        total = sum(rows.values())
+        assert rows["Update"] / total == pytest.approx(update_share,
+                                                       abs=0.05)
+
+    def test_sha1_costs_more_than_md5(self):
+        md5_total = sum(c for _, c in hash_phase_breakdown("md5", 1024))
+        sha_total = sum(c for _, c in hash_phase_breakdown("sha1", 1024))
+        # Paper Table 10: 6679 vs 10723 cycles on 1024 bytes.
+        assert 1.3 < sha_total / md5_total < 2.0
+
+    def test_init_is_negligible(self):
+        rows = dict(hash_phase_breakdown("md5", 1024))
+        assert rows["Init"] / sum(rows.values()) < 0.02
+
+
+class TestFigure3KeySetup:
+    @pytest.fixture(scope="class")
+    def shares(self):
+        return key_setup_shares(sizes=(1024, 8192, 32768))
+
+    def test_rc4_dominant_at_1kb(self, shares):
+        rc4_1k = dict(shares["rc4"])[1024]
+        assert rc4_1k == pytest.approx(0.285, abs=0.08)   # paper: 28.5%
+
+    def test_block_ciphers_small_at_1kb(self, shares):
+        for name in ("aes", "des", "3des"):
+            share = dict(shares[name])[1024]
+            assert 0.002 < share < 0.06, name  # paper: 1.0% - 3.6%
+
+    def test_shares_decrease_with_size(self, shares):
+        for name, series in shares.items():
+            values = [v for _, v in series]
+            assert values == sorted(values, reverse=True), name
+
+    def test_8kb_thresholds(self, shares):
+        """Paper: <0.5% for block ciphers and ~5% for RC4 at 8 KB."""
+        assert dict(shares["rc4"])[8192] < 0.08
+        for name in ("aes", "des", "3des"):
+            assert dict(shares[name])[8192] < 0.012, name
+
+
+class TestTable12InstructionMix:
+    PAPER_TOP = {
+        "aes": "movl", "des": "xorl", "3des": "xorl", "rc4": "movl",
+        "rsa": "movl", "md5": "movl", "sha1": "movl",
+    }
+
+    @pytest.mark.parametrize("name", list(PAPER_TOP))
+    def test_top_instruction_matches(self, name):
+        top = instruction_mix(name, nbytes=2048, top=1)[0][0]
+        assert top == self.PAPER_TOP[name]
+
+    def test_aes_shares_close_to_paper(self):
+        shares = dict(instruction_mix("aes", nbytes=4096))
+        assert shares["movl"] == pytest.approx(0.3775, abs=0.06)
+        assert shares["xorl"] == pytest.approx(0.2509, abs=0.06)
+
+    def test_rsa_arith_instructions_prominent(self):
+        shares = dict(instruction_mix("rsa"))
+        # Paper: addl 16.25%, adcl 16.18%, mull 6.10%.
+        assert shares.get("adcl", 0) > 0.08
+        assert shares.get("mull", 0) > 0.04
+
+    def test_des_xor_heavy(self):
+        shares = dict(instruction_mix("des", nbytes=2048))
+        assert shares["xorl"] == pytest.approx(0.4111, abs=0.07)
+
+    def test_top10_covers_most_instructions(self):
+        for name in ("aes", "des", "rc4", "md5", "sha1"):
+            total = sum(s for _, s in instruction_mix(name, nbytes=2048))
+            assert total > 0.85, name  # paper: 89.78% - 98.63%
+
+
+def _phase_share(rows, index):
+    total = sum(c for _, c in rows)
+    return rows[index][1] / total

@@ -1,0 +1,144 @@
+"""Capacity model and the closed-loop load simulation."""
+
+import pytest
+
+from repro.perf import PENTIUM4, WIDE_CORE
+from repro.webserver import LoadSimulator, requests_per_second
+
+
+class TestAnalyticCapacity:
+    def test_basic(self):
+        # 28.6M cycles/request on 2.26 GHz: ~79 req/s, the paper's era.
+        rps = requests_per_second(28.6e6)
+        assert 70 < rps < 90
+
+    def test_scales_with_cpu(self):
+        assert requests_per_second(10e6, WIDE_CORE) > \
+            requests_per_second(10e6, PENTIUM4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            requests_per_second(0)
+
+
+class TestLoadSimulator:
+    CYCLES = 25e6  # ~110 req/s ceiling on the P4 model
+
+    def test_single_client_underutilizes(self):
+        sim = LoadSimulator(self.CYCLES, think_seconds=0.1)
+        result = sim.run(1, duration_seconds=10)
+        assert result.utilization < 0.2
+        assert result.throughput_rps < 10
+
+    def test_saturation_with_many_clients(self):
+        sim = LoadSimulator(self.CYCLES, think_seconds=0.01)
+        result = sim.run(50, duration_seconds=5)
+        assert result.utilization > 0.9   # the paper's ">90% load"
+        ceiling = requests_per_second(self.CYCLES)
+        assert result.throughput_rps == pytest.approx(ceiling, rel=0.1)
+
+    def test_throughput_monotone_then_flat(self):
+        sim = LoadSimulator(self.CYCLES, think_seconds=0.05)
+        results = sim.saturation_sweep((1, 4, 16, 64), duration_seconds=5)
+        rps = [r.throughput_rps for r in results]
+        assert rps[0] < rps[1] < rps[2]
+        # Beyond saturation, throughput stops growing...
+        assert rps[3] == pytest.approx(rps[2], rel=0.15)
+
+    def test_latency_grows_past_saturation(self):
+        sim = LoadSimulator(self.CYCLES, think_seconds=0.01)
+        light = sim.run(1, duration_seconds=5)
+        heavy = sim.run(64, duration_seconds=5)
+        assert heavy.latency_percentile(0.5) > \
+            5 * light.latency_percentile(0.5)
+
+    def test_latency_floor_is_service_time(self):
+        sim = LoadSimulator(self.CYCLES)
+        result = sim.run(1, duration_seconds=2)
+        assert min(result.latencies) == pytest.approx(
+            self.CYCLES / PENTIUM4.frequency_hz, rel=1e-6)
+
+    def test_deterministic(self):
+        sim = LoadSimulator(self.CYCLES, think_seconds=0.02)
+        a = sim.run(8, duration_seconds=3)
+        b = sim.run(8, duration_seconds=3)
+        assert a.completed == b.completed
+        assert a.throughput_rps == b.throughput_rps
+
+    def test_percentile_bounds(self):
+        sim = LoadSimulator(self.CYCLES)
+        result = sim.run(2, duration_seconds=1)
+        with pytest.raises(ValueError):
+            result.latency_percentile(1.5)
+        assert result.latency_percentile(0.0) <= \
+            result.latency_percentile(1.0)
+
+    @pytest.mark.parametrize("bad", [
+        dict(nclients=0), dict(duration_seconds=0),
+    ])
+    def test_run_validation(self, bad):
+        sim = LoadSimulator(self.CYCLES)
+        kwargs = dict(nclients=1, duration_seconds=1.0)
+        kwargs.update(bad)
+        with pytest.raises(ValueError):
+            sim.run(**kwargs)
+
+    def test_init_validation(self):
+        with pytest.raises(ValueError):
+            LoadSimulator(0)
+        with pytest.raises(ValueError):
+            LoadSimulator(1e6, think_seconds=-1)
+
+
+class TestSmp:
+    CYCLES = 25e6
+
+    def test_two_cpus_double_throughput(self):
+        one = LoadSimulator(self.CYCLES, think_seconds=0.001)
+        two = LoadSimulator(self.CYCLES, think_seconds=0.001, nservers=2)
+        r1 = one.run(32, duration_seconds=5)
+        r2 = two.run(32, duration_seconds=5)
+        assert r2.throughput_rps == pytest.approx(2 * r1.throughput_rps,
+                                                  rel=0.05)
+
+    def test_utilization_normalized_per_cpu(self):
+        two = LoadSimulator(self.CYCLES, think_seconds=0.001, nservers=2)
+        r = two.run(32, duration_seconds=5)
+        assert 0.9 < r.utilization <= 1.0
+
+    def test_underloaded_smp_idle(self):
+        four = LoadSimulator(self.CYCLES, think_seconds=0.5, nservers=4)
+        r = four.run(1, duration_seconds=5)
+        assert r.utilization < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadSimulator(1e6, nservers=0)
+
+
+class TestMixedLoad:
+    def test_mean_throughput_matches_mix(self):
+        from repro.webserver import MixedLoadSimulator
+        # 75% resumed (2M cycles), 25% full (20M): mean 6.5M.
+        sim = MixedLoadSimulator([20e6, 2e6, 2e6, 2e6],
+                                 think_seconds=0.001)
+        r = sim.run(32, duration_seconds=5)
+        expected = 2.26e9 / 6.5e6
+        assert r.throughput_rps == pytest.approx(expected, rel=0.1)
+
+    def test_latency_spread_reflects_heterogeneity(self):
+        from repro.webserver import MixedLoadSimulator
+        mixed = MixedLoadSimulator([20e6, 2e6, 2e6, 2e6])
+        uniform = LoadSimulator(6.5e6)
+        rm = mixed.run(1, duration_seconds=3)
+        ru = uniform.run(1, duration_seconds=3)
+        spread_m = rm.latency_percentile(0.99) / rm.latency_percentile(0.25)
+        spread_u = ru.latency_percentile(0.99) / ru.latency_percentile(0.25)
+        assert spread_m > 3 * spread_u
+
+    def test_validation(self):
+        from repro.webserver import MixedLoadSimulator
+        with pytest.raises(ValueError):
+            MixedLoadSimulator([])
+        with pytest.raises(ValueError):
+            MixedLoadSimulator([1e6, 0])

@@ -1,0 +1,76 @@
+"""Function-name classification driving Figure 2 / Table 3."""
+
+import pytest
+
+from repro import perf
+from repro.perf import Profiler, mix
+from repro.perf.categories import (
+    HASH, OTHER, PRIVATE, PUBLIC, classify_function, crypto_breakdown,
+    crypto_shares,
+)
+
+
+class TestClassification:
+    @pytest.mark.parametrize("name,expected", [
+        ("bn_mul_add_words", PUBLIC),
+        ("BN_from_montgomery", PUBLIC),
+        ("BN_div", PUBLIC),
+        ("block_parsing", PUBLIC),        # PKCS#1 is part of the RSA op
+        ("AES_encrypt", PRIVATE),
+        ("DES_encrypt3", PRIVATE),
+        ("RC4", PRIVATE),
+        ("RC4_set_key", PRIVATE),
+        ("cbc_encrypt", PRIVATE),
+        ("MD5_Update", HASH),
+        ("SHA1_Final", HASH),
+        ("mac", HASH),
+        ("ssl3_PRF", HASH),
+        ("rand_pseudo_bytes", OTHER),
+        ("X509_functions", OTHER),
+        ("OPENSSL_cleanse", OTHER),
+        ("ERR_load_BN_strings", OTHER),
+        ("some_unknown_crypto_fn", OTHER),
+    ])
+    def test_known_names(self, name, expected):
+        assert classify_function(name, "libcrypto") == expected
+
+    @pytest.mark.parametrize("module", ["libssl", "httpd", "vmlinux",
+                                        "other"])
+    def test_non_libcrypto_excluded(self, module):
+        assert classify_function("AES_encrypt", module) is None
+
+
+class TestAggregation:
+    def _profile(self):
+        p = Profiler()
+        p.charge(mix(mull=100), function="bn_mul_add_words")
+        p.charge(mix(xorl=100), function="DES_encrypt3")
+        p.charge(mix(addl=100), function="SHA1_Update")
+        p.charge(mix(movl=100), function="rand_pseudo_bytes")
+        p.charge(mix(movl=999), function="apache", module="httpd")
+        return p
+
+    def test_breakdown_covers_categories(self):
+        b = crypto_breakdown(self._profile())
+        assert all(b[c] > 0 for c in (PUBLIC, PRIVATE, HASH, OTHER))
+
+    def test_non_crypto_modules_excluded(self):
+        p = self._profile()
+        b = crypto_breakdown(p)
+        assert sum(b.values()) < p.total_cycles()
+
+    def test_shares_sum_to_one(self):
+        shares = crypto_shares(self._profile())
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_empty_profile(self):
+        shares = crypto_shares(Profiler())
+        assert sum(shares.values()) == 0.0
+
+    def test_real_rsa_decrypt_is_public(self, rsa512, rng):
+        p = Profiler()
+        ct = rsa512.public().encrypt(b"classify", rng)
+        with perf.activate(p):
+            rsa512.decrypt(ct)
+        shares = crypto_shares(p)
+        assert shares[PUBLIC] > 0.9

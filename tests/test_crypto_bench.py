@@ -1,0 +1,127 @@
+"""The standalone crypto benchmark driver (paper setup 3.3)."""
+
+import pytest
+
+from repro.crypto.bench import (
+    ALGORITHMS, Measurement, aes_block_breakdown, characteristics,
+    des_block_breakdown, hash_phase_breakdown, instruction_mix,
+    key_setup_shares, measure_cipher, measure_hash, measure_rsa,
+    rsa_step_breakdown,
+)
+from repro.perf import PENTIUM4, WIDE_CORE
+
+
+class TestMeasureCipher:
+    def test_result_fields(self):
+        m = measure_cipher("aes", 1024)
+        assert m.nbytes == 1024
+        assert m.cycles > 0 and m.instructions > 0
+        assert 0 < m.cpi < 2
+        assert m.key_setup_cycles > 0
+        assert 0 < m.key_setup_share < 0.5
+
+    @pytest.mark.parametrize("bad", [0, -16, 100, 17])
+    def test_size_validation(self, bad):
+        with pytest.raises(ValueError):
+            measure_cipher("aes", bad)
+
+    def test_unknown_cipher(self):
+        with pytest.raises(KeyError):
+            measure_cipher("chacha20", 1024)
+
+    def test_deterministic(self):
+        a = measure_cipher("3des", 2048)
+        b = measure_cipher("3des", 2048)
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+
+    def test_cost_linear_in_size(self):
+        small = measure_cipher("rc4", 2048)
+        large = measure_cipher("rc4", 4096)
+        # Data-pass cost doubles; key setup stays fixed.
+        delta = large.cycles - small.cycles
+        assert delta == pytest.approx(
+            small.cycles - small.key_setup_cycles, rel=0.05)
+
+    def test_aes256_variant(self):
+        m128 = measure_cipher("aes", 2048)
+        m256 = measure_cipher("aes256", 2048)
+        assert m256.cycles > m128.cycles  # 14 rounds vs 10
+
+    def test_cpu_parameter(self):
+        p4 = measure_cipher("aes", 1024, cpu=PENTIUM4)
+        wide = measure_cipher("aes", 1024, cpu=WIDE_CORE)
+        assert wide.cycles < p4.cycles
+        assert wide.instructions == p4.instructions
+
+
+class TestMeasureRsa:
+    def test_warm_vs_cold(self):
+        cold = measure_rsa(512, warm=False)
+        warm = measure_rsa(512, warm=True)
+        # Cold includes Montgomery setup + blinding initialization.
+        assert cold.cycles > warm.cycles
+
+    def test_step_breakdown_complete(self):
+        m = measure_rsa(512)
+        steps = rsa_step_breakdown(m)
+        assert [s for s, _ in steps] == [
+            "init", "data_to_bn", "blinding", "computation", "bn_to_data",
+            "block_parsing"]
+        assert sum(c for _, c in steps) == pytest.approx(m.cycles, rel=0.01)
+
+    def test_reduction_style_plumbed(self):
+        inter = measure_rsa(512, mont_reduction="interleaved")
+        sep = measure_rsa(512, mont_reduction="separate")
+        assert sep.cycles > inter.cycles
+
+
+class TestBreakdownHelpers:
+    def test_hash_phase_sums(self):
+        for name in ("md5", "sha1", "sha256"):
+            rows = hash_phase_breakdown(name, 1024)
+            assert [p for p, _ in rows] == ["Init", "Update", "Final"]
+            assert all(c > 0 for _, c in rows)
+
+    def test_aes_breakdown_key_sizes(self):
+        with pytest.raises(KeyError):
+            aes_block_breakdown(512)
+        assert len(aes_block_breakdown(192)) == 3
+
+    def test_des_breakdown_variants(self):
+        with pytest.raises(KeyError):
+            des_block_breakdown("2des")
+        des = des_block_breakdown("des")
+        tdes = des_block_breakdown("3des")
+        assert tdes[1][1] == pytest.approx(3 * des[1][1])
+
+    def test_instruction_mix_shares(self):
+        top = instruction_mix("aes", nbytes=1024, top=5)
+        assert len(top) == 5
+        shares = [s for _, s in top]
+        assert shares == sorted(shares, reverse=True)
+        assert sum(shares) < 1.0
+
+    def test_instruction_mix_unknown(self):
+        with pytest.raises(KeyError):
+            instruction_mix("enigma")
+
+    def test_key_setup_shares_structure(self):
+        shares = key_setup_shares(sizes=(1024, 2048))
+        assert set(shares) == {"aes", "des", "3des", "rc4"}
+        for series in shares.values():
+            assert [s for s, _ in series] == [1024, 2048]
+
+    def test_characteristics_covers_all(self):
+        table = characteristics(nbytes=2048, rsa_bits=512)
+        assert set(table) == set(ALGORITHMS)
+        for c in table.values():
+            assert c.cpi > 0 and c.throughput_mbps > 0
+
+
+class TestMeasurementProperties:
+    def test_zero_guards(self):
+        m = Measurement(name="x", nbytes=0, cycles=0, instructions=0)
+        assert m.cpi == 0.0
+        assert m.path_length == 0.0
+        assert m.key_setup_share == 0.0

@@ -1,0 +1,73 @@
+"""Constant-time comparison and DES weak-key handling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.des import (
+    DES, SEMI_WEAK_KEYS, WEAK_KEYS, is_weak_key,
+)
+from repro.crypto.util import ct_equal
+
+
+class TestCtEqual:
+    def test_equal(self):
+        assert ct_equal(b"same-bytes", b"same-bytes")
+
+    def test_unequal(self):
+        assert not ct_equal(b"same-bytes", b"same-bytez")
+
+    def test_length_mismatch(self):
+        assert not ct_equal(b"short", b"longer-bytes")
+
+    def test_empty(self):
+        assert ct_equal(b"", b"")
+
+    @given(st.binary(max_size=100), st.binary(max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_python_equality(self, a, b):
+        assert ct_equal(a, b) == (a == b)
+
+    def test_charged(self, isolated_profiler):
+        ct_equal(b"x" * 20, b"y" * 20)
+        assert "CRYPTO_memcmp" in isolated_profiler.functions
+
+
+class TestWeakKeys:
+    @pytest.mark.parametrize("key", WEAK_KEYS)
+    def test_weak_key_self_inverse(self, key):
+        """The defining property: E_k(E_k(x)) == x."""
+        d = DES(key)
+        block = b"weakness"
+        assert d.encrypt_block(d.encrypt_block(block)) == block
+
+    @pytest.mark.parametrize("pair_index", range(0, len(SEMI_WEAK_KEYS), 2))
+    def test_semi_weak_pairs_invert_each_other(self, pair_index):
+        """E_k2(E_k1(x)) == x for each semi-weak pair."""
+        k1, k2 = SEMI_WEAK_KEYS[pair_index], SEMI_WEAK_KEYS[pair_index + 1]
+        block = b"SemiWeak"
+        assert DES(k2).encrypt_block(DES(k1).encrypt_block(block)) == block
+
+    @pytest.mark.parametrize("key", WEAK_KEYS + SEMI_WEAK_KEYS)
+    def test_detected(self, key):
+        assert is_weak_key(key)
+
+    def test_parity_insensitive(self):
+        # Same key with flipped parity bits is still weak.
+        noisy = bytes(b ^ 0x01 for b in WEAK_KEYS[0])
+        assert is_weak_key(noisy)
+
+    def test_normal_keys_pass(self):
+        for key in (b"12345678", bytes(range(8)), b"\x5a" * 8):
+            assert not is_weak_key(key)
+            DES(key, check_weak=True)  # accepted
+
+    def test_checked_constructor_rejects(self):
+        with pytest.raises(ValueError, match="weak"):
+            DES(WEAK_KEYS[0], check_weak=True)
+
+    def test_unchecked_constructor_accepts(self):
+        DES(WEAK_KEYS[0])  # default preserves raw FIPS behaviour
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            is_weak_key(b"short")

@@ -1,0 +1,238 @@
+"""Diffie-Hellman and the DHE-RSA cipher suites."""
+
+import pytest
+
+from repro import perf
+from repro.bignum import BigNum
+from repro.crypto.dh import (
+    DhError, DhKeyPair, DhParams, OAKLEY_GROUP2_P,
+)
+from repro.crypto.rand import PseudoRandom
+from repro.ssl import SslClient, SslServer, TLS1_VERSION
+from repro.ssl.ciphersuites import (
+    DES_CBC3_SHA, DHE_RSA_AES128_SHA, EDH_RSA_DES_CBC3_SHA,
+)
+from repro.ssl.errors import HandshakeFailure
+from repro.ssl.handshake import ServerKeyExchange
+from repro.ssl.loopback import pump
+
+
+class TestDhParams:
+    def test_oakley_group2_constants(self):
+        params = DhParams.oakley_group2()
+        assert params.p.nbits() == 1024
+        assert params.g.to_int() == 2
+        assert OAKLEY_GROUP2_P % 2 == 1
+
+    def test_small_modulus_rejected(self):
+        with pytest.raises(DhError):
+            DhParams(p=BigNum.from_int(1009), g=BigNum.from_int(2))
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(DhError):
+            DhParams(p=BigNum.from_int(1 << 300), g=BigNum.from_int(2))
+
+    def test_generator_range(self):
+        p = BigNum.from_int((1 << 300) + 1)
+        with pytest.raises(DhError):
+            DhParams(p=p, g=BigNum.from_int(1))
+
+    @pytest.mark.parametrize("bad", [0, 1])
+    def test_degenerate_public_rejected(self, bad):
+        params = DhParams.oakley_group2()
+        with pytest.raises(DhError):
+            params.validate_public(BigNum.from_int(bad))
+
+    def test_p_minus_one_rejected(self):
+        params = DhParams.oakley_group2()
+        with pytest.raises(DhError):
+            params.validate_public(
+                BigNum.from_int(params.p.to_int() - 1))
+
+
+class TestDhAgreement:
+    @pytest.fixture(scope="class")
+    def params(self):
+        return DhParams.oakley_group2()
+
+    def test_both_sides_agree(self, params):
+        alice = DhKeyPair(params, PseudoRandom(b"alice"))
+        bob = DhKeyPair(params, PseudoRandom(b"bob"), mont=alice._mont)
+        assert alice.compute_shared(bob.public) == \
+            bob.compute_shared(alice.public)
+
+    def test_public_value_correct(self, params):
+        kp = DhKeyPair(params, PseudoRandom(b"check"))
+        expected = pow(params.g.to_int(), kp._x.to_int(), params.p.to_int())
+        assert kp.public.to_int() == expected
+
+    def test_different_keys_different_secrets(self, params):
+        a = DhKeyPair(params, PseudoRandom(b"a"))
+        b = DhKeyPair(params, PseudoRandom(b"b"), mont=a._mont)
+        c = DhKeyPair(params, PseudoRandom(b"c"), mont=a._mont)
+        assert a.compute_shared(b.public) != a.compute_shared(c.public)
+
+    def test_short_exponent_rejected(self, params):
+        with pytest.raises(DhError):
+            DhKeyPair(params, exponent_bits=64)
+
+    def test_charges_bignum_kernels(self, params, isolated_profiler):
+        kp = DhKeyPair(params, PseudoRandom(b"prof"))
+        kp.compute_shared(BigNum.from_int(0x1234567890ABCDEF))
+        assert "bn_mul_add_words" in isolated_profiler.functions
+        assert isolated_profiler.region_cycles("dh_generate_key") > 0
+        assert isolated_profiler.region_cycles("dh_compute_key") > 0
+
+
+def dhe_pair(identity, suite=EDH_RSA_DES_CBC3_SHA, version=0x0300):
+    key, cert = identity
+    sp, cp = perf.Profiler(), perf.Profiler()
+    with perf.activate(sp):
+        server = SslServer(key, cert, suites=(suite,),
+                           rng=PseudoRandom(b"dhe-s"))
+    with perf.activate(cp):
+        client = SslClient(suites=(suite,), version=version,
+                           rng=PseudoRandom(b"dhe-c"))
+        client.start_handshake()
+    pump(client, server, cp, sp)
+    return client, server, cp, sp
+
+
+class TestDheHandshake:
+    @pytest.mark.parametrize("suite", [EDH_RSA_DES_CBC3_SHA,
+                                       DHE_RSA_AES128_SHA],
+                             ids=lambda s: s.name)
+    @pytest.mark.parametrize("version", [0x0300, TLS1_VERSION],
+                             ids=["sslv3", "tls10"])
+    def test_completes_and_transfers(self, identity512, suite, version):
+        client, server, cp, sp = dhe_pair(identity512, suite, version)
+        assert client.handshake_complete and server.handshake_complete
+        assert client.master_secret == server.master_secret
+        with perf.activate(cp):
+            client.write(b"dhe payload" * 11)
+        with perf.activate(sp):
+            server.receive(client.pending_output())
+            assert server.read() == b"dhe payload" * 11
+
+    def test_server_kx_step_present(self, identity512):
+        _, _, _, sp = dhe_pair(identity512)
+        assert sp.region_cycles("send_server_kx") > 0
+        assert sp.region_cycles("send_server_kx/dh_generate_key") > 0
+        # The RSA signature inside the server key exchange.
+        assert sp.region_cycles(
+            "send_server_kx/rsa_private_encryption") > 0
+        # The shared-secret computation replaces the RSA decryption.
+        assert sp.region_cycles("get_client_kx/dh_compute_key") > 0
+        assert sp.region_cycles(
+            "get_client_kx/rsa_private_decryption") == 0
+
+    def test_dhe_costs_more_than_rsa_kx(self, identity512):
+        """Ephemeral DH adds a signature plus two modexps server-side."""
+        _, _, _, sp_dhe = dhe_pair(identity512)
+        _, _, _, sp_rsa = dhe_pair(identity512, suite=DES_CBC3_SHA)
+        assert sp_dhe.total_cycles() > sp_rsa.total_cycles()
+
+    def test_tampered_server_kx_signature_rejected(self, identity512):
+        key, cert = identity512
+        server = SslServer(key, cert, suites=(EDH_RSA_DES_CBC3_SHA,),
+                           rng=PseudoRandom(b"sig-s"))
+        client = SslClient(suites=(EDH_RSA_DES_CBC3_SHA,),
+                           rng=PseudoRandom(b"sig-c"))
+        client.start_handshake()
+        server.receive(client.pending_output())
+        flight = bytearray(server.pending_output())
+        # Flip a byte near the end of the ServerKeyExchange record (the
+        # signature trails the message; the final record is server_done).
+        flight[-20] ^= 0xFF
+        with pytest.raises(HandshakeFailure):
+            client.receive(bytes(flight))
+
+    def test_degenerate_client_public_rejected(self, identity512):
+        key, cert = identity512
+        server = SslServer(key, cert, suites=(EDH_RSA_DES_CBC3_SHA,),
+                           rng=PseudoRandom(b"deg-s"))
+        client = SslClient(suites=(EDH_RSA_DES_CBC3_SHA,),
+                           rng=PseudoRandom(b"deg-c"))
+        client.start_handshake()
+        server.receive(client.pending_output())
+        client.receive(server.pending_output())
+        client.pending_output()  # discard the honest flight
+        # Forge a ClientKeyExchange carrying Yc = 1.
+        from repro.ssl.codec import ByteWriter
+        from repro.ssl.handshake import ClientKeyExchange
+        from repro.ssl.record import ContentType, RecordLayer
+        forged = ClientKeyExchange(
+            encrypted_pre_master=ByteWriter().vec16(b"\x01").bytes())
+        wire = RecordLayer().emit(ContentType.HANDSHAKE, forged.to_bytes())
+        with pytest.raises(HandshakeFailure):
+            server.receive(wire)
+
+
+class TestServerKeyExchangeMessage:
+    def test_roundtrip(self):
+        msg = ServerKeyExchange(dh_p=b"\xff" * 128, dh_g=b"\x02",
+                                dh_ys=b"\xab" * 128, signature=b"S" * 64)
+        parsed = ServerKeyExchange.parse(msg.body())
+        assert parsed == msg
+
+    def test_params_bytes_exclude_signature(self):
+        msg = ServerKeyExchange(dh_p=b"P", dh_g=b"G", dh_ys=b"Y",
+                                signature=b"SIG")
+        assert b"SIG" not in msg.params_bytes()
+
+    def test_empty_params_rejected(self):
+        from repro.ssl.errors import DecodeError
+        msg = ServerKeyExchange(dh_p=b"", dh_g=b"G", dh_ys=b"Y",
+                                signature=b"S")
+        with pytest.raises(DecodeError):
+            ServerKeyExchange.parse(msg.body())
+
+
+class TestDheSessionLifecycle:
+    def test_dhe_resumption(self, identity512):
+        """A DHE session resumes without repeating the DH exchange."""
+        from repro.ssl import SessionCache
+        cache = SessionCache()
+        key, cert = identity512
+        sp1, cp1 = perf.Profiler(), perf.Profiler()
+        with perf.activate(sp1):
+            s1 = SslServer(key, cert, suites=(EDH_RSA_DES_CBC3_SHA,),
+                           session_cache=cache, rng=PseudoRandom(b"d1-s"))
+        with perf.activate(cp1):
+            c1 = SslClient(suites=(EDH_RSA_DES_CBC3_SHA,),
+                           rng=PseudoRandom(b"d1-c"))
+            c1.start_handshake()
+        pump(c1, s1, cp1, sp1)
+        assert c1.session is not None
+
+        sp2, cp2 = perf.Profiler(), perf.Profiler()
+        with perf.activate(sp2):
+            s2 = SslServer(key, cert, suites=(EDH_RSA_DES_CBC3_SHA,),
+                           session_cache=cache, rng=PseudoRandom(b"d2-s"))
+        with perf.activate(cp2):
+            c2 = SslClient(suites=(EDH_RSA_DES_CBC3_SHA,),
+                           session=c1.session, rng=PseudoRandom(b"d2-c"))
+            c2.start_handshake()
+        pump(c2, s2, cp2, sp2)
+        assert s2.resumed
+        assert sp2.region_cycles("send_server_kx") == 0
+        assert sp2.region_cycles("get_client_kx/dh_compute_key") == 0
+
+    def test_dhe_renegotiation_full(self, identity512):
+        """Renegotiating a DHE connection generates fresh DH parameters."""
+        key, cert = identity512
+        sp, cp = perf.Profiler(), perf.Profiler()
+        with perf.activate(sp):
+            server = SslServer(key, cert, suites=(EDH_RSA_DES_CBC3_SHA,),
+                               rng=PseudoRandom(b"dr-s"))
+        with perf.activate(cp):
+            client = SslClient(suites=(EDH_RSA_DES_CBC3_SHA,),
+                               rng=PseudoRandom(b"dr-c"))
+            client.start_handshake()
+        pump(client, server, cp, sp)
+        skx_before = sp.region_cycles("send_server_kx")
+        with perf.activate(cp):
+            client.renegotiate(session=None)
+        pump(client, server, cp, sp)
+        assert server.handshake_complete
+        assert sp.region_cycles("send_server_kx") > skx_before

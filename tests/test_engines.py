@@ -1,0 +1,223 @@
+"""Hardware-acceleration models (Section 6.2)."""
+
+import pytest
+
+import repro.crypto.aes as aes
+import repro.crypto.md5 as md5
+import repro.crypto.sha1 as sha1
+from repro.engines import (
+    AesUnitDesign, EngineDesign, EngineSimulator, KERNEL_PARAMS,
+    SoftwareCosts, aes_unit_estimate, fragment_latency, isa_estimate,
+    software_block_cycles, throughput_mbps, transform_mix,
+)
+
+
+class TestIsaExtension:
+    def test_md5_estimate_shrinks_instructions(self):
+        est = isa_estimate("md5", md5.MD5_BLOCK, md5.MD5_STALL)
+        assert 0.1 < est.instruction_reduction < 0.5
+        assert est.speedup > 1.2
+
+    def test_sha1_estimate(self):
+        est = isa_estimate("sha1", sha1.SHA1_BLOCK, sha1.SHA1_STALL)
+        assert est.speedup > 1.1
+
+    def test_md5_gains_more_relief_than_sha1(self):
+        """MD5's serial chain means fusion helps its CPI more."""
+        md5_est = isa_estimate("md5", md5.MD5_BLOCK, md5.MD5_STALL)
+        sha_est = isa_estimate("sha1", sha1.SHA1_BLOCK, sha1.SHA1_STALL)
+        assert md5_est.speedup > sha_est.speedup
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            isa_estimate("blowfish", md5.MD5_BLOCK, 1.0)
+
+    def test_transform_preserves_non_targets(self):
+        new = transform_mix(md5.MD5_BLOCK, KERNEL_PARAMS["md5"])
+        assert new.count("roll") == md5.MD5_BLOCK.count("roll")
+        assert new.count("addl") == md5.MD5_BLOCK.count("addl")
+        assert new.count("xorl") < md5.MD5_BLOCK.count("xorl")
+        assert new.count("movl") < md5.MD5_BLOCK.count("movl")
+
+
+class TestAesUnit:
+    def test_block_unit_faster_than_round_unit(self):
+        est = aes_unit_estimate(128)
+        assert est.software_cycles > est.round_unit_cycles > \
+            est.block_unit_cycles
+
+    def test_speedups_are_substantial(self):
+        est = aes_unit_estimate(128)
+        assert est.round_unit_speedup > 3
+        assert est.block_unit_speedup > 5
+
+    def test_software_cycles_match_table5_structure(self):
+        # ~562 cycles per 128-bit block in the paper's Table 5.
+        sw = software_block_cycles(128)
+        assert 350 < sw < 800
+
+    def test_aes256_scales_rounds(self):
+        assert software_block_cycles(256) > software_block_cycles(128)
+        est128, est256 = aes_unit_estimate(128), aes_unit_estimate(256)
+        assert est256.block_unit_cycles > est128.block_unit_cycles
+
+    def test_invalid_key_size(self):
+        with pytest.raises(ValueError):
+            aes_unit_estimate(512)
+
+    def test_hw_throughput_can_saturate_gigabit(self):
+        """The paper notes software AES cannot saturate 1 Gbps; the block
+        unit should comfortably exceed it."""
+        est = aes_unit_estimate(128)
+        sw_mbps = throughput_mbps(est.software_cycles)
+        hw_mbps = throughput_mbps(est.block_unit_cycles)
+        assert sw_mbps < 125          # 1 Gbps = 125 MB/s
+        assert hw_mbps > 125
+
+    def test_throughput_requires_positive_cycles(self):
+        with pytest.raises(ValueError):
+            throughput_mbps(0)
+
+
+class TestCryptoEngine:
+    SW = SoftwareCosts(cipher_cycles_per_byte=44.0,
+                       hash_cycles_per_byte=16.7)
+
+    def test_parallel_beats_serial_engine(self):
+        lat = fragment_latency(1024, self.SW)
+        assert lat.engine_parallel_cycles < lat.engine_serial_cycles
+        assert lat.overlap_gain > 1.0
+
+    def test_engine_beats_software(self):
+        lat = fragment_latency(1024, self.SW)
+        assert lat.parallel_speedup > 5
+
+    def test_tail_includes_mac_and_padding(self):
+        lat = fragment_latency(1024, self.SW, mac_size=20, block_size=16)
+        total = 1024 + 20 + 1
+        assert lat.tail_bytes == 20 + 1 + ((-total) % 16)
+        assert (1024 + lat.tail_bytes) % 16 == 0
+
+    def test_zero_data_rejected(self):
+        with pytest.raises(ValueError):
+            fragment_latency(0, self.SW)
+
+    def test_simulator_throughput_scales_with_units(self):
+        frags = [1024] * 64
+        one = EngineSimulator(EngineDesign(units=1)).run(frags)
+        four = EngineSimulator(EngineDesign(units=4)).run(frags)
+        assert four.makespan_cycles < one.makespan_cycles
+        ratio = one.makespan_cycles / four.makespan_cycles
+        assert 3.0 < ratio <= 4.2
+
+    def test_simulator_utilization_bounds(self):
+        out = EngineSimulator(EngineDesign(units=2)).run([512] * 10)
+        assert 0.0 < out.utilization <= 1.0
+
+    def test_arrival_gap_bounds_throughput(self):
+        sim = EngineSimulator(EngineDesign(units=4))
+        saturated = sim.run([1024] * 32, arrival_gap=0.0)
+        trickle = sim.run([1024] * 32, arrival_gap=100_000.0)
+        assert trickle.makespan_cycles > saturated.makespan_cycles
+        assert trickle.utilization < saturated.utilization
+
+    def test_empty_queue_rejected(self):
+        with pytest.raises(ValueError):
+            EngineSimulator().run([])
+
+    def test_unit_count_validation(self):
+        with pytest.raises(ValueError):
+            EngineSimulator(EngineDesign(units=0))
+
+    def test_outcome_throughput_helper(self):
+        out = EngineSimulator().run([1024] * 4)
+        assert out.throughput_mbps() > 0
+
+
+class TestDesignSweeps:
+    """Monotonicity of the hardware models across their design spaces."""
+
+    def test_aes_unit_latency_sweep(self):
+        prev = None
+        for latency in (1.0, 2.0, 4.0, 8.0):
+            est = aes_unit_estimate(
+                128, AesUnitDesign(round_latency=latency))
+            if prev is not None:
+                assert est.block_unit_cycles > prev
+            prev = est.block_unit_cycles
+
+    def test_engine_descriptor_overhead_sweep(self):
+        prev = None
+        for overhead in (100.0, 400.0, 1600.0):
+            lat = fragment_latency(
+                1024, TestCryptoEngine.SW,
+                EngineDesign(descriptor_overhead=overhead))
+            if prev is not None:
+                assert lat.engine_parallel_cycles > prev
+            prev = lat.engine_parallel_cycles
+
+    def test_overlap_gain_peaks_when_units_balanced(self):
+        """The Figure 6 overlap buys most when hash and cipher rates are
+        comparable, and little when one side dominates."""
+        balanced = fragment_latency(
+            4096, TestCryptoEngine.SW,
+            EngineDesign(cipher_cycles_per_byte=1.0,
+                         hash_cycles_per_byte=1.0))
+        lopsided = fragment_latency(
+            4096, TestCryptoEngine.SW,
+            EngineDesign(cipher_cycles_per_byte=1.0,
+                         hash_cycles_per_byte=0.05))
+        assert balanced.overlap_gain > lopsided.overlap_gain
+
+    def test_unit_scaling_saturates_at_queue_depth(self):
+        """More unit pairs than queued fragments buy nothing."""
+        frags = [2048] * 4
+        four = EngineSimulator(EngineDesign(units=4)).run(frags)
+        eight = EngineSimulator(EngineDesign(units=8)).run(frags)
+        assert eight.makespan_cycles == pytest.approx(
+            four.makespan_cycles)
+
+    def test_isa_params_bounds(self):
+        for params in KERNEL_PARAMS.values():
+            assert 0 < params.logical_fusion < 1
+            assert 0 < params.mov_elision < 1
+            assert 0 < params.stall_relief <= 1
+
+
+class TestHashUnit:
+    def test_speedup_over_software(self):
+        from repro.engines import hash_unit_estimate
+        est = hash_unit_estimate("sha1")
+        # ~780 software cycles per block vs 88 hardware.
+        assert 5 < est.speedup < 15
+        assert est.throughput_mbps() > 1000
+
+    def test_md5_unit_faster_than_sha1_unit(self):
+        from repro.engines import hash_unit_estimate
+        md5_est = hash_unit_estimate("md5")
+        sha_est = hash_unit_estimate("sha1")
+        # Fewer serial steps per block.
+        assert md5_est.unit_cycles_per_block < \
+            sha_est.unit_cycles_per_block
+
+    def test_pipelining_amortizes_across_messages(self):
+        from repro.engines import HashUnitDesign, hash_unit_estimate
+        single = hash_unit_estimate("sha1", HashUnitDesign())
+        deep = hash_unit_estimate("sha1",
+                                  HashUnitDesign(pipeline_depth=4))
+        assert deep.unit_cycles_per_block == pytest.approx(
+            single.unit_cycles_per_block / 4)
+
+    def test_serial_step_floor(self):
+        from repro.engines import SERIAL_STEPS, hash_unit_estimate, \
+            HashUnitDesign
+        est = hash_unit_estimate(
+            "md5", HashUnitDesign(cycles_per_step=1.0, block_overhead=0.0))
+        assert est.unit_cycles_per_block == SERIAL_STEPS["md5"]
+
+    def test_validation(self):
+        from repro.engines import HashUnitDesign, hash_unit_estimate
+        with pytest.raises(KeyError):
+            hash_unit_estimate("sha999")
+        with pytest.raises(ValueError):
+            hash_unit_estimate("md5", HashUnitDesign(pipeline_depth=0))

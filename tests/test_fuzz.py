@@ -1,0 +1,134 @@
+"""Adversarial-input fuzzing: malformed wire bytes must fail *cleanly*.
+
+Every failure path must surface as an :class:`~repro.ssl.errors.SslError`
+subclass (so a server can alert and close) -- never an IndexError,
+struct.error or other accidental exception class.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import perf
+from repro.crypto.rand import PseudoRandom
+from repro.ssl import DES_CBC3_SHA, SslClient, SslServer
+from repro.ssl.errors import SslError
+from repro.ssl.handshake import (
+    CertificateMsg, ClientHello, Finished, ServerHello, ServerKeyExchange,
+    parse_message,
+)
+from repro.ssl.loopback import make_server_identity
+from repro.ssl.record import RecordLayer
+
+
+@pytest.fixture(scope="module")
+def identity():
+    return make_server_identity(512, seed=b"fuzz")
+
+
+class TestRecordLayerFuzz:
+    @given(st.binary(max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_random_bytes_never_crash(self, data):
+        rl = RecordLayer()
+        try:
+            rl.feed(data)
+        except SslError:
+            pass  # clean rejection is fine
+
+    @given(st.binary(min_size=5, max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_valid_header_random_body(self, tail):
+        rl = RecordLayer()
+        wire = bytes([22, 3, 0]) + len(tail).to_bytes(2, "big") + tail
+        try:
+            rl.feed(wire)
+        except SslError:
+            pass
+
+
+class TestHandshakeParserFuzz:
+    @given(st.sampled_from([1, 2, 11, 12, 14, 16, 20]),
+           st.binary(max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_parse_message_never_crashes(self, msg_type, body):
+        try:
+            parse_message(msg_type, body)
+        except SslError:
+            pass
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_specific_parsers(self, body):
+        for parser in (ClientHello, ServerHello, CertificateMsg, Finished,
+                       ServerKeyExchange):
+            try:
+                parser.parse(body)
+            except SslError:
+                pass
+
+    @given(st.binary(max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_certificate_bytes(self, blob):
+        from repro.ssl.errors import BadCertificate
+        from repro.ssl.x509 import Certificate
+        try:
+            Certificate.from_bytes(blob)
+        except BadCertificate:
+            pass
+
+
+class TestServerFacingFuzz:
+    """A live server fed mutated client flights must alert, not crash."""
+
+    def _fresh_server(self, identity):
+        key, cert = identity
+        return SslServer(key, cert, suites=(DES_CBC3_SHA,),
+                         rng=PseudoRandom(b"fuzz-server"))
+
+    @given(st.binary(min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_raw_garbage(self, identity, data):
+        server = self._fresh_server(identity)
+        try:
+            server.receive(data)
+        except SslError:
+            pass
+
+    @given(st.integers(0, 200), st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_mutated_client_hello(self, identity, position, value):
+        server = self._fresh_server(identity)
+        client = SslClient(suites=(DES_CBC3_SHA,),
+                           rng=PseudoRandom(b"fuzz-client"))
+        client.start_handshake()
+        flight = bytearray(client.pending_output())
+        flight[position % len(flight)] ^= value or 1
+        try:
+            server.receive(bytes(flight))
+        except SslError:
+            pass
+
+    @given(st.integers(0, 400), st.integers(1, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_mutated_second_flight(self, identity, position, value):
+        server = self._fresh_server(identity)
+        client = SslClient(suites=(DES_CBC3_SHA,),
+                           rng=PseudoRandom(b"fuzz-client2"))
+        client.start_handshake()
+        server.receive(client.pending_output())
+        client.receive(server.pending_output())
+        flight = bytearray(client.pending_output())
+        flight[position % len(flight)] ^= value
+        try:
+            server.receive(bytes(flight))
+        except SslError:
+            pass
+
+    def test_server_closed_after_fatal(self, identity):
+        server = self._fresh_server(identity)
+        with pytest.raises(SslError):
+            server.receive(b"\x16\x03\x00\x00\x04\x01\x00\x00\x00")
+        assert server.closed
+        # Further input on a dead connection is rejected cleanly.
+        with pytest.raises(SslError):
+            server.receive(b"\x17\x03\x00\x00\x01x")

@@ -1,0 +1,122 @@
+"""Cross-module integration: features composed the way deployments mix them."""
+
+import pytest
+
+from repro import perf
+from repro.crypto.rand import PseudoRandom
+from repro.perf.categories import crypto_shares
+from repro.perf.trace import merge_profilers
+from repro.ssl import (
+    DES_CBC3_SHA, SessionCache, SslClient, SslServer, TLS1_VERSION,
+)
+from repro.ssl.ciphersuites import DHE_RSA_AES128_SHA, EXP_RC4_MD5
+from repro.ssl.loopback import make_server_identity, pump
+from repro.ssl.x509 import make_ca_signed_pair
+from repro.webserver import RequestWorkload, WebServerSimulator
+
+
+def run_pair(server_kwargs, client_kwargs, payload=b"integration"):
+    sp, cp = perf.Profiler(), perf.Profiler()
+    with perf.activate(sp):
+        server = SslServer(rng=PseudoRandom(b"int-s"), **server_kwargs)
+    with perf.activate(cp):
+        client = SslClient(rng=PseudoRandom(b"int-c"), **client_kwargs)
+        client.start_handshake()
+    pump(client, server, cp, sp)
+    assert client.handshake_complete and server.handshake_complete
+    with perf.activate(cp):
+        client.write(payload)
+    with perf.activate(sp):
+        server.receive(client.pending_output())
+        assert server.read() == payload
+    return client, server, cp, sp
+
+
+class TestKitchenSink:
+    def test_tls_dhe_chain_v2hello(self, rsa512, rsa1024):
+        """TLS 1.0 + DHE + CA-signed chain + v2-compat opening, together."""
+        leaf, ca = make_ca_signed_pair("CN=integration-ca", "CN=leaf",
+                                       ca_key=rsa1024, leaf_key=rsa512)
+        client, server, cp, sp = run_pair(
+            dict(private_key=rsa512, certificate=leaf, cert_chain=(ca,),
+                 suites=(DHE_RSA_AES128_SHA,)),
+            dict(suites=(DHE_RSA_AES128_SHA,), version=TLS1_VERSION,
+                 use_v2_hello=True, trusted_issuer=ca))
+        assert server.version == TLS1_VERSION
+        assert sp.region_cycles("send_server_kx") > 0
+
+    def test_export_suite_with_resumption_and_renegotiation(self,
+                                                            identity512):
+        key, cert = identity512
+        cache = SessionCache()
+        client, server, cp, sp = run_pair(
+            dict(private_key=key, certificate=cert, suites=(EXP_RC4_MD5,),
+                 session_cache=cache),
+            dict(suites=(EXP_RC4_MD5,)))
+        # Renegotiate (resumed via session id) and keep transferring.
+        with perf.activate(sp):
+            server.request_renegotiation()
+        pump(client, server, cp, sp)
+        assert server.resumed
+        with perf.activate(cp):
+            client.write(b"still-export-grade")
+        with perf.activate(sp):
+            server.receive(client.pending_output())
+            assert server.read() == b"still-export-grade"
+
+    def test_separate_montgomery_in_full_handshake(self, identity512):
+        key, cert = identity512
+        key.mont_reduction = "separate"
+        try:
+            client, server, _, sp = run_pair(
+                dict(private_key=key, certificate=cert,
+                     suites=(DES_CBC3_SHA,)),
+                dict(suites=(DES_CBC3_SHA,)))
+            assert sp.region_cycles(
+                "get_client_kx/rsa_private_decryption") > 0
+        finally:
+            key.mont_reduction = "interleaved"
+
+    def test_tls_webserver_simulation(self, identity512):
+        """The web-server environment with a TLS-only... the simulator's
+        client defaults to SSLv3; drive it with TLS via the client knob
+        indirectly by checking the stack still serves SSLv3 (version
+        plumbing is covered elsewhere); here: DHE suite end to end."""
+        key, cert = identity512
+        sim = WebServerSimulator(key=key, cert=cert, use_crt=True,
+                                 suite=DHE_RSA_AES128_SHA)
+        result = sim.run(RequestWorkload.fixed(1024), 1)
+        assert result.requests_completed == 1
+        assert result.failures == 0
+        # DHE shifts more of the crypto into public-key work (two modexps
+        # plus an RSA signature).
+        assert result.crypto_category_shares()["public"] > 0.5
+
+
+class TestProfileAggregation:
+    def test_merge_webserver_workers(self, identity512):
+        """Two simulated workers' profiles merge into one Table-1 view."""
+        key, cert = identity512
+        results = []
+        for worker in range(2):
+            sim = WebServerSimulator(key=key, cert=cert, use_crt=True,
+                                     seed=b"worker-%d" % worker)
+            results.append(sim.run(RequestWorkload.fixed(1024), 1))
+        merged = merge_profilers(perf.Profiler(),
+                                 *(r.profiler for r in results))
+        total = sum(r.profiler.total_cycles() for r in results)
+        assert merged.total_cycles() == pytest.approx(total)
+        modules = {name for name, _, _ in merged.module_breakdown()}
+        assert {"libcrypto", "vmlinux", "httpd"} <= modules
+
+    def test_shares_stable_across_seeds(self, identity512):
+        """Crypto-category shares are a property of the workload, not the
+        seed: two different-seed runs agree within a few points."""
+        key, cert = identity512
+        shares = []
+        for seed in (b"seed-a", b"seed-b"):
+            sim = WebServerSimulator(key=key, cert=cert, use_crt=True,
+                                     seed=seed)
+            r = sim.run(RequestWorkload.fixed(1024), 1)
+            shares.append(r.crypto_category_shares()["public"])
+        assert shares[0] == pytest.approx(shares[1], abs=0.05)

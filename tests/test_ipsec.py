@@ -1,0 +1,247 @@
+"""IPsec ESP: packet format, anti-replay, tunnels, failure injection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.rand import PseudoRandom
+from repro.ipsec import (
+    ALL_ESP_SUITES, ESP_3DES_SHA1, ESP_AES128_SHA1, ESP_NULL_SHA1,
+    EspSuite, IpsecError, ReplayError, ReplayWindow, SecurityAssociation,
+    decapsulate, encapsulate, establish_tunnel,
+)
+
+
+def make_sa_pair(suite=ESP_AES128_SHA1, spi=0x1234):
+    keys = PseudoRandom(b"sa-keys")
+    ck = keys.bytes(suite.key_len)
+    ak = keys.bytes(suite.auth_key_len)
+    tx = SecurityAssociation(spi, suite, ck, ak)
+    rx = SecurityAssociation(spi, suite, ck, ak)
+    return tx, rx
+
+
+class TestReplayWindow:
+    def test_in_order(self):
+        w = ReplayWindow()
+        for seq in range(1, 100):
+            w.check_and_update(seq)
+        assert w.top == 99
+
+    def test_duplicate_rejected(self):
+        w = ReplayWindow()
+        w.check_and_update(5)
+        with pytest.raises(ReplayError):
+            w.check_and_update(5)
+
+    def test_out_of_order_within_window(self):
+        w = ReplayWindow()
+        w.check_and_update(10)
+        w.check_and_update(7)   # late but inside window
+        w.check_and_update(9)
+        with pytest.raises(ReplayError):
+            w.check_and_update(7)  # now a replay
+
+    def test_below_window_rejected(self):
+        w = ReplayWindow(size=64)
+        w.check_and_update(100)
+        with pytest.raises(ReplayError):
+            w.check_and_update(36)  # 100 - 36 = 64 >= window
+        w.check_and_update(37)      # 63 back: still acceptable
+
+    def test_zero_rejected(self):
+        with pytest.raises(ReplayError):
+            ReplayWindow().check_and_update(0)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            ReplayWindow(size=16)
+
+    @given(st.lists(st.integers(1, 2000), min_size=1, max_size=300,
+                    unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_unique_in_window_sequences_accepted(self, seqs):
+        """Any unique sequence stream is accepted so long as each number
+        is within the window of the running maximum when it arrives."""
+        w = ReplayWindow(size=64)
+        top = 0
+        for seq in seqs:
+            if seq > top or top - seq < 64:
+                w.check_and_update(seq)
+                top = max(top, seq)
+
+
+class TestEspPackets:
+    @pytest.mark.parametrize("suite", ALL_ESP_SUITES,
+                             ids=lambda s: s.name)
+    def test_roundtrip_every_suite(self, suite):
+        tx, rx = make_sa_pair(suite)
+        rng = PseudoRandom(b"iv")
+        payload = b"inner packet" * 13
+        assert decapsulate(rx, encapsulate(tx, payload, rng)) == payload
+
+    def test_packet_structure(self):
+        tx, _ = make_sa_pair()
+        pkt = encapsulate(tx, b"data", PseudoRandom(b"iv"))
+        assert int.from_bytes(pkt[0:4], "big") == 0x1234   # SPI
+        assert int.from_bytes(pkt[4:8], "big") == 1        # first seq
+
+    def test_ciphertext_block_aligned(self):
+        tx, _ = make_sa_pair(ESP_3DES_SHA1)
+        for n in range(1, 25):
+            pkt = encapsulate(tx, bytes(n), PseudoRandom(b"iv"))
+            body = len(pkt) - 8 - tx.suite.iv_len - 12
+            assert body % 8 == 0
+
+    def test_empty_payload(self):
+        tx, rx = make_sa_pair()
+        pkt = encapsulate(tx, b"", PseudoRandom(b"iv"))
+        assert decapsulate(rx, pkt) == b""
+
+    def test_sequence_increments(self):
+        tx, rx = make_sa_pair()
+        rng = PseudoRandom(b"iv")
+        for expected_seq in (1, 2, 3):
+            pkt = encapsulate(tx, b"p", rng)
+            assert int.from_bytes(pkt[4:8], "big") == expected_seq
+            decapsulate(rx, pkt)
+
+    def test_tampered_icv_rejected(self):
+        tx, rx = make_sa_pair()
+        pkt = bytearray(encapsulate(tx, b"payload", PseudoRandom(b"iv")))
+        pkt[-1] ^= 1
+        with pytest.raises(IpsecError, match="ICV"):
+            decapsulate(rx, bytes(pkt))
+
+    def test_tampered_ciphertext_rejected(self):
+        tx, rx = make_sa_pair()
+        pkt = bytearray(encapsulate(tx, b"payload" * 5, PseudoRandom(b"iv")))
+        pkt[20] ^= 0x80
+        with pytest.raises(IpsecError, match="ICV"):
+            decapsulate(rx, bytes(pkt))
+
+    def test_wrong_spi_rejected(self):
+        tx, _ = make_sa_pair(spi=0x1111)
+        _, rx = make_sa_pair(spi=0x2222)
+        pkt = encapsulate(tx, b"p", PseudoRandom(b"iv"))
+        with pytest.raises(IpsecError, match="SPI"):
+            decapsulate(rx, pkt)
+
+    def test_replayed_packet_rejected(self):
+        tx, rx = make_sa_pair()
+        pkt = encapsulate(tx, b"once only", PseudoRandom(b"iv"))
+        decapsulate(rx, pkt)
+        with pytest.raises(ReplayError):
+            decapsulate(rx, pkt)
+
+    def test_truncated_packet_rejected(self):
+        tx, rx = make_sa_pair()
+        pkt = encapsulate(tx, b"p" * 40, PseudoRandom(b"iv"))
+        with pytest.raises(IpsecError):
+            decapsulate(rx, pkt[:12])
+
+    def test_replay_checked_after_auth(self):
+        """A forged packet with a huge sequence number must not advance
+        the window (ICV fails first)."""
+        tx, rx = make_sa_pair()
+        rng = PseudoRandom(b"iv")
+        forged = bytearray(encapsulate(tx, b"a", rng))
+        forged[4:8] = (999).to_bytes(4, "big")  # bogus seq, stale ICV
+        with pytest.raises(IpsecError, match="ICV"):
+            decapsulate(rx, bytes(forged))
+        assert rx.window.top == 0  # window untouched
+
+    def test_sequence_exhaustion(self):
+        tx, _ = make_sa_pair()
+        tx.seq = 0xFFFFFFFF
+        with pytest.raises(IpsecError, match="rekey"):
+            encapsulate(tx, b"p", PseudoRandom(b"iv"))
+
+    @given(st.binary(max_size=600))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, payload):
+        tx, rx = make_sa_pair()
+        pkt = encapsulate(tx, payload, PseudoRandom(b"prop-iv"))
+        assert decapsulate(rx, pkt) == payload
+
+
+class TestSaValidation:
+    def test_bad_spi(self):
+        with pytest.raises(IpsecError):
+            SecurityAssociation(0, ESP_AES128_SHA1, bytes(16), bytes(20))
+
+    def test_bad_key_lengths(self):
+        with pytest.raises(IpsecError):
+            SecurityAssociation(1, ESP_AES128_SHA1, bytes(15), bytes(20))
+        with pytest.raises(IpsecError):
+            SecurityAssociation(1, ESP_AES128_SHA1, bytes(16), bytes(19))
+
+
+class TestTunnel:
+    def test_bidirectional(self):
+        a, b = establish_tunnel(b"secret", ESP_AES128_SHA1)
+        assert b.unprotect(a.protect(b"a->b")) == b"a->b"
+        assert a.unprotect(b.protect(b"b->a")) == b"b->a"
+
+    def test_directions_use_different_keys(self):
+        a, _ = establish_tunnel(b"secret", ESP_AES128_SHA1)
+        assert a.outbound.cipher_key != a.inbound.cipher_key
+        assert a.outbound.spi != a.inbound.spi
+
+    def test_different_secrets_cannot_interoperate(self):
+        a, _ = establish_tunnel(b"secret-one", ESP_AES128_SHA1)
+        _, b = establish_tunnel(b"secret-two", ESP_AES128_SHA1)
+        with pytest.raises(IpsecError):
+            b.unprotect(a.protect(b"crossed wires"))
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(IpsecError):
+            establish_tunnel(b"", ESP_AES128_SHA1)
+
+    def test_many_packets_with_drops_and_reordering(self):
+        """A lossy, reordering network: the receiver still accepts every
+        packet exactly once."""
+        a, b = establish_tunnel(b"secret", ESP_AES128_SHA1)
+        packets = [a.protect(f"pkt-{i}".encode()) for i in range(40)]
+        # Deliver with local reordering (swap pairs) and some drops.
+        order = list(range(40))
+        for i in range(0, 38, 4):
+            order[i], order[i + 1] = order[i + 1], order[i]
+        delivered = [order[i] for i in range(40) if i % 7 != 3]
+        got = {b.unprotect(packets[i]).decode() for i in delivered}
+        assert got == {f"pkt-{i}" for i in delivered}
+
+
+class TestRekey:
+    def test_rekeyed_endpoints_interoperate(self):
+        from repro.ipsec import establish_tunnel, rekey_endpoint
+        a, b = establish_tunnel(b"secret", ESP_AES128_SHA1)
+        a2 = rekey_endpoint(a, b"secret", generation=1)
+        b2 = rekey_endpoint(b, b"secret", generation=1)
+        assert b2.unprotect(a2.protect(b"fresh keys")) == b"fresh keys"
+        assert a2.unprotect(b2.protect(b"both ways")) == b"both ways"
+
+    def test_rekey_changes_keys_and_spis(self):
+        from repro.ipsec import establish_tunnel, rekey_endpoint
+        a, _ = establish_tunnel(b"secret", ESP_AES128_SHA1)
+        a2 = rekey_endpoint(a, b"secret", generation=1)
+        assert a2.outbound.cipher_key != a.outbound.cipher_key
+        assert a2.outbound.spi != a.outbound.spi
+
+    def test_old_packets_rejected_after_rekey(self):
+        from repro.ipsec import establish_tunnel, rekey_endpoint
+        a, b = establish_tunnel(b"secret", ESP_AES128_SHA1)
+        old_packet = a.protect(b"pre-rekey")
+        b2 = rekey_endpoint(b, b"secret", generation=1)
+        with pytest.raises(IpsecError):
+            b2.unprotect(old_packet)
+
+    def test_replay_window_resets(self):
+        from repro.ipsec import establish_tunnel, rekey_endpoint
+        a, b = establish_tunnel(b"secret", ESP_AES128_SHA1)
+        for _ in range(5):
+            b.unprotect(a.protect(b"x"))
+        a2 = rekey_endpoint(a, b"secret", 1)
+        b2 = rekey_endpoint(b, b"secret", 1)
+        assert b2.inbound.window.top == 0
+        b2.unprotect(a2.protect(b"first on new sa"))
+        assert b2.inbound.window.top == 1

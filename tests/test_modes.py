@@ -1,0 +1,99 @@
+"""CBC mode: NIST vectors, chaining semantics, validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.des import DES, TripleDES
+from repro.crypto.modes import CBC, cbc_decrypt, cbc_encrypt
+
+
+class TestAesCbcNistVectors:
+    # NIST SP 800-38A F.2.1 (CBC-AES128.Encrypt)
+    KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    PT = bytes.fromhex(
+        "6bc1bee22e409f96e93d7e117393172a"
+        "ae2d8a571e03ac9c9eb76fac45af8e51"
+        "30c81c46a35ce411e5fbc1191a0a52ef"
+        "f69f2445df4f9b17ad2b417be66c3710")
+    CT = bytes.fromhex(
+        "7649abac8119b246cee98e9b12e9197d"
+        "5086cb9b507219ee95db113a917678b2"
+        "73bed6b8e3c1743b7116e69e22229516"
+        "3ff1caa1681fac09120eca307586e1a7")
+
+    def test_encrypt(self):
+        assert cbc_encrypt(AES(self.KEY), self.IV, self.PT) == self.CT
+
+    def test_decrypt(self):
+        assert cbc_decrypt(AES(self.KEY), self.IV, self.CT) == self.PT
+
+
+class TestChaining:
+    def test_incremental_equals_oneshot(self):
+        cipher = AES(bytes(16))
+        iv = bytes(range(16))
+        data = bytes(range(256)) * 2
+        oneshot = cbc_encrypt(AES(bytes(16)), iv, data)
+        cbc = CBC(cipher, iv)
+        pieces = b"".join(cbc.encrypt(data[i:i + 64])
+                          for i in range(0, len(data), 64))
+        assert pieces == oneshot
+
+    def test_iv_property_advances(self):
+        cbc = CBC(DES(b"k" * 8), bytes(8))
+        ct = cbc.encrypt(b"A" * 16)
+        assert cbc.iv == ct[-8:]
+
+    def test_decrypt_tracks_chain(self):
+        key = b"k" * 24
+        iv = bytes(8)
+        data = b"B" * 64
+        ct = cbc_encrypt(TripleDES(key), iv, data)
+        dec = CBC(TripleDES(key), iv)
+        plain = b"".join(dec.decrypt(ct[i:i + 16])
+                         for i in range(0, len(ct), 16))
+        assert plain == data
+
+    def test_identical_blocks_encrypt_differently(self):
+        """The point of CBC: equal plaintext blocks diverge."""
+        ct = cbc_encrypt(AES(bytes(16)), bytes(16), bytes(64))
+        blocks = [ct[i:i + 16] for i in range(0, 64, 16)]
+        assert len(set(blocks)) == 4
+
+    def test_bit_flip_corrupts_two_blocks_only(self):
+        key, iv = bytes(16), bytes(16)
+        data = bytes(range(16)) * 4
+        ct = bytearray(cbc_encrypt(AES(key), iv, data))
+        ct[20] ^= 0x80  # flip a bit in block 1
+        plain = cbc_decrypt(AES(key), iv, bytes(ct))
+        assert plain[:16] == data[:16]          # block 0 untouched
+        assert plain[16:32] != data[16:32]      # block 1 garbled
+        assert plain[32:48] != data[32:48]      # block 2 has flipped bit
+        assert plain[48:] == data[48:]          # block 3 untouched
+
+
+class TestValidation:
+    def test_partial_block_rejected(self):
+        with pytest.raises(ValueError):
+            CBC(AES(bytes(16)), bytes(16)).encrypt(b"short")
+
+    def test_wrong_iv_length_rejected(self):
+        with pytest.raises(ValueError):
+            CBC(AES(bytes(16)), bytes(8))
+
+    def test_empty_input_ok(self):
+        cbc = CBC(AES(bytes(16)), bytes(16))
+        assert cbc.encrypt(b"") == b""
+
+
+@given(st.binary(min_size=16, max_size=16),
+       st.binary(min_size=16, max_size=16),
+       st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_cbc_roundtrip_property(key, iv, nblocks):
+    data = bytes(range(16)) * nblocks
+    ct = cbc_encrypt(AES(key), iv, data)
+    assert cbc_decrypt(AES(key), iv, ct) == data
+    assert ct != data

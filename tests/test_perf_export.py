@@ -1,0 +1,102 @@
+"""Profile exporters (text tree, CSV, Markdown, comparison)."""
+
+import pytest
+
+from repro import perf
+from repro.perf import Profiler, mix
+from repro.perf.export import (
+    compare_profiles, functions_csv, instruction_mix_csv, modules_markdown,
+    region_tree_text,
+)
+
+
+@pytest.fixture()
+def sample_profile():
+    p = Profiler()
+    with p.region("handshake"):
+        with p.region("rsa"):
+            p.charge(mix(movl=1000, mull=200), function="bn_mul_add_words")
+        with p.region("hash"):
+            p.charge(mix(xorl=100), function="SHA1_Update")
+    with p.region("bulk"):
+        p.charge(mix(movl=50), function="DES_encrypt3",
+                 module="libcrypto")
+        p.charge_cycles(500, function="tcp", module="vmlinux")
+    return p
+
+
+class TestRegionTree:
+    def test_contains_major_regions(self, sample_profile):
+        text = region_tree_text(sample_profile)
+        assert "handshake" in text
+        assert "rsa" in text
+        assert "bulk" in text
+
+    def test_indentation_reflects_nesting(self, sample_profile):
+        lines = region_tree_text(sample_profile).splitlines()
+        handshake = next(l for l in lines if l.startswith("handshake"))
+        rsa = next(l for l in lines if "rsa" in l)
+        assert rsa.startswith("  ")
+        assert not handshake.startswith(" ")
+
+    def test_min_share_folds_tiny_nodes(self, sample_profile):
+        text = region_tree_text(sample_profile, min_share=0.9)
+        assert "hash" not in text
+
+    def test_empty_profile(self):
+        assert region_tree_text(Profiler()) == ""
+
+
+class TestCsv:
+    def test_functions_csv_shape(self, sample_profile):
+        lines = functions_csv(sample_profile).strip().splitlines()
+        assert lines[0] == \
+            "function,module,calls,cycles,instructions,share"
+        assert any("bn_mul_add_words" in l for l in lines)
+        # share column sums to ~1
+        shares = [float(l.rsplit(",", 1)[1]) for l in lines[1:]]
+        assert sum(shares) == pytest.approx(1.0, abs=0.01)
+
+    def test_functions_csv_top_limits(self, sample_profile):
+        lines = functions_csv(sample_profile, top=2).strip().splitlines()
+        assert len(lines) == 3
+
+    def test_instruction_mix_csv(self, sample_profile):
+        lines = instruction_mix_csv(sample_profile).strip().splitlines()
+        assert lines[0] == "mnemonic,count,share"
+        assert any(l.startswith("movl,") for l in lines)
+
+    def test_commas_in_names_escaped(self):
+        p = Profiler()
+        p.charge(mix(movl=1), function="weird,name")
+        assert "weird;name" in functions_csv(p)
+
+
+class TestMarkdown:
+    def test_modules_markdown(self, sample_profile):
+        md = modules_markdown(sample_profile)
+        assert md.startswith("| module | cycles | share |")
+        assert "| libcrypto |" in md
+        assert "| vmlinux |" in md
+
+
+class TestCompare:
+    def test_deltas(self):
+        a, b = Profiler(), Profiler()
+        a.charge(mix(movl=100), function="shared")
+        b.charge(mix(movl=200), function="shared")
+        a.charge(mix(movl=10), function="only_a")
+        b.charge(mix(movl=10), function="only_b")
+        text = compare_profiles(a, b, "before", "after")
+        assert "shared" in text
+        assert "+100.0%" in text
+        assert "gone" in text and "new" in text
+
+    def test_real_ablation_comparison(self):
+        """Compare CRT vs non-CRT RSA profiles end to end."""
+        from repro.crypto.bench import measure_rsa
+        crt = measure_rsa(512, use_crt=True)
+        noncrt = measure_rsa(512, use_crt=False)
+        text = compare_profiles(crt.profiler, noncrt.profiler,
+                                "crt", "non-crt")
+        assert "bn_mul_add_words" in text

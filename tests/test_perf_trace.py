@@ -1,0 +1,117 @@
+"""Synthetic trace expansion and profile merging."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perf import Profiler, mix
+from repro.perf.isa import ALL_MNEMONICS, InstrMix
+from repro.perf.trace import (
+    merge_profilers, profile_trace, synthesize_trace, trace_to_text,
+)
+
+
+class TestSynthesizeTrace:
+    def test_composition_matches_mix(self):
+        m = mix(movl=50, xorl=30, mull=20)
+        counts = Counter(synthesize_trace(m))
+        assert counts == {"movl": 50, "xorl": 30, "mull": 20}
+
+    def test_length_override(self):
+        m = mix(movl=3, xorl=1)
+        trace = list(synthesize_trace(m, length=400))
+        counts = Counter(trace)
+        assert len(trace) == 400
+        assert counts["movl"] == pytest.approx(300, abs=2)
+
+    def test_interleaving_not_blocked(self):
+        """Proportional scheduling interleaves rather than emitting runs."""
+        m = mix(movl=100, xorl=100)
+        trace = list(synthesize_trace(m))
+        longest_run = 1
+        run = 1
+        for a, b in zip(trace, trace[1:]):
+            run = run + 1 if a == b else 1
+            longest_run = max(longest_run, run)
+        assert longest_run <= 2
+
+    def test_deterministic(self):
+        m = mix(movl=10, addl=7, roll=3)
+        assert list(synthesize_trace(m)) == list(synthesize_trace(m))
+
+    def test_empty_mix(self):
+        assert list(synthesize_trace(InstrMix.empty())) == []
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            list(synthesize_trace(mix(movl=1), length=-1))
+
+    @given(st.dictionaries(st.sampled_from(ALL_MNEMONICS[:8]),
+                           st.integers(1, 60), min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_counts_within_one_of_target(self, counts):
+        m = InstrMix({k: float(v) for k, v in counts.items()})
+        emitted = Counter(synthesize_trace(m))
+        for name, target in counts.items():
+            assert abs(emitted[name] - target) <= 1, name
+
+    def test_text_rendering(self):
+        text = trace_to_text(synthesize_trace(mix(movl=5, xorl=3)), width=4)
+        lines = text.strip().splitlines()
+        assert len(lines) == 2
+        assert "movl" in lines[0]
+
+    def test_profile_trace_from_real_kernel(self):
+        from repro import perf
+        from repro.crypto.md5 import MD5
+        p = Profiler()
+        with perf.activate(p):
+            MD5(bytes(640)).digest()
+        trace = profile_trace(p, length=200)
+        assert len(trace) == 200
+        counts = Counter(trace)
+        assert counts["movl"] > counts.get("mull", 0)
+
+
+class TestMergeProfilers:
+    def _profile(self, cycles_fn="f", region="r", n=10):
+        p = Profiler()
+        with p.region(region):
+            p.charge(mix(movl=n), function=cycles_fn)
+        return p
+
+    def test_totals_add(self):
+        a, b = self._profile(n=10), self._profile(n=30)
+        merged = merge_profilers(Profiler(), a, b)
+        assert merged.total_cycles() == pytest.approx(
+            a.total_cycles() + b.total_cycles())
+        assert merged.total_instructions() == 40
+
+    def test_functions_and_modules_merge(self):
+        a = self._profile(cycles_fn="alpha")
+        b = self._profile(cycles_fn="beta")
+        merged = merge_profilers(Profiler(), a, b)
+        assert set(merged.functions) == {"alpha", "beta"}
+        assert merged.functions["alpha"].calls == 1
+
+    def test_region_trees_merge_by_path(self):
+        a = self._profile(region="handshake")
+        b = self._profile(region="handshake")
+        c = self._profile(region="bulk")
+        merged = merge_profilers(Profiler(), a, b, c)
+        assert merged.region_cycles("handshake") == pytest.approx(
+            a.region_cycles("handshake") * 2)
+        assert merged.region_cycles("bulk") > 0
+        assert merged.root.inclusive_cycles() == pytest.approx(
+            merged.total_cycles())
+
+    def test_cpu_mismatch_rejected(self):
+        from repro.perf import WIDE_CORE
+        with pytest.raises(ValueError):
+            merge_profilers(Profiler(), Profiler(cpu=WIDE_CORE))
+
+    def test_merge_into_nonempty_target(self):
+        target = self._profile(n=5)
+        merge_profilers(target, self._profile(n=5))
+        assert target.total_instructions() == 10

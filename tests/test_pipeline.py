@@ -1,0 +1,99 @@
+"""The out-of-order pipeline scheduler simulation."""
+
+import itertools
+
+import pytest
+
+from repro.perf import mix
+from repro.perf.pipeline import (
+    DEPENDENCY_PATTERNS, PipelineConfig, PipelineResult, simulate,
+    simulate_kernel,
+)
+from repro.perf.trace import synthesize_trace
+
+
+def run(trace, pattern=(0,), **cfg):
+    return simulate(iter(trace), itertools.cycle(pattern),
+                    PipelineConfig(**cfg))
+
+
+class TestScheduler:
+    def test_empty_trace(self):
+        result = run([])
+        assert result.instructions == 0 and result.cycles == 0
+
+    def test_single_instruction(self):
+        result = run(["addl"])
+        assert result.instructions == 1
+        assert result.cycles == 1  # alu latency
+
+    def test_independent_work_fills_width(self):
+        """Width-3 with no dependencies: ~3 IPC on 1-cycle ops."""
+        result = run(["addl"] * 300)
+        assert result.ipc == pytest.approx(3.0, rel=0.05)
+
+    def test_serial_chain_limits_to_latency(self):
+        """A pure distance-1 chain retires one op per latency."""
+        result = run(["addl"] * 100, pattern=(1,))
+        assert result.cpi == pytest.approx(1.0, rel=0.05)
+
+    def test_memory_port_limits_loads(self):
+        loads = ["movl"] * 300
+        one_port = run(loads, mem_ports=1)
+        two_ports = run(loads, mem_ports=2)
+        assert one_port.cpi == pytest.approx(2 * two_ports.cpi, rel=0.1)
+
+    def test_mul_interval_throttles(self):
+        mulls = ["mull"] * 60
+        fast = run(mulls, mul_interval=1)
+        slow = run(mulls, mul_interval=10)
+        assert slow.cycles > 5 * fast.cycles
+
+    def test_window_hides_long_latency_when_independent(self):
+        """Independent mulls overlap inside the window."""
+        trace = ["mull" if i % 10 == 0 else "addl" for i in range(300)]
+        wide = run(trace, window=32)
+        narrow = run(trace, window=1)
+        assert wide.cycles < narrow.cycles
+
+    def test_window_one_degenerates_to_in_order(self):
+        result = run(["movl"] * 50, pattern=(1,), window=1)
+        # Each load waits for the previous: latency-2 steps.
+        assert result.cpi == pytest.approx(2.0, rel=0.15)
+
+    def test_mixed_latency_chain(self):
+        # alternate mull/addl chained: each op waits for the previous.
+        trace = ["mull" if i % 2 == 0 else "addl" for i in range(80)]
+        result = run(trace, pattern=(1,))
+        # Average of mul (14) and alu (1) latency per step.
+        assert result.cpi == pytest.approx(7.5, rel=0.15)
+
+    def test_deterministic(self):
+        trace = list(synthesize_trace(mix(movl=40, addl=40, mull=10)))
+        a = run(trace, pattern=(2, 0))
+        b = run(trace, pattern=(2, 0))
+        assert (a.cycles, a.instructions) == (b.cycles, b.instructions)
+
+
+class TestKernelSimulation:
+    def test_all_patterns_have_kernels(self):
+        for kernel in ("md5", "sha1", "aes", "rc4", "rsa"):
+            assert kernel in DEPENDENCY_PATTERNS
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            simulate_kernel("blowfish", mix(movl=10))
+
+    def test_md5_stalls_more_than_sha1(self):
+        import repro.crypto.md5 as md5_mod
+        import repro.crypto.sha1 as sha1_mod
+        md5_sim = simulate_kernel("md5", md5_mod.MD5_BLOCK, length=2000)
+        sha_sim = simulate_kernel("sha1", sha1_mod.SHA1_BLOCK, length=2000)
+        assert md5_sim.cpi > sha_sim.cpi
+
+    def test_result_properties(self):
+        r = PipelineResult(instructions=100, cycles=50)
+        assert r.cpi == 0.5
+        assert r.ipc == 2.0
+        empty = PipelineResult(0, 0)
+        assert empty.cpi == 0.0 and empty.ipc == 0.0

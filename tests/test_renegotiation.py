@@ -1,0 +1,148 @@
+"""Renegotiation: fresh handshakes over an established connection.
+
+Section 4.1's observation — "session re-negotiation using the previously
+setup keys can avoid the public key encryption" — exercised literally: the
+server sends a HelloRequest, the client re-handshakes (offering its cached
+session for an abbreviated exchange), and traffic keys roll over without
+dropping the connection.
+"""
+
+import pytest
+
+from repro import perf
+from repro.crypto.rand import PseudoRandom
+from repro.ssl import DES_CBC3_SHA, SessionCache, SslClient, SslServer
+from repro.ssl.errors import HandshakeFailure, UnexpectedMessage
+from repro.ssl.loopback import pump
+
+
+@pytest.fixture()
+def connected(identity512):
+    key, cert = identity512
+    cache = SessionCache()
+    sp, cp = perf.Profiler(), perf.Profiler()
+    with perf.activate(sp):
+        server = SslServer(key, cert, suites=(DES_CBC3_SHA,),
+                           session_cache=cache,
+                           rng=PseudoRandom(b"reneg-s"))
+    with perf.activate(cp):
+        client = SslClient(suites=(DES_CBC3_SHA,),
+                           rng=PseudoRandom(b"reneg-c"))
+        client.start_handshake()
+    pump(client, server, cp, sp)
+    assert client.handshake_complete and server.handshake_complete
+    return client, server, cp, sp
+
+
+def transfer(client, server, cp, sp, payload):
+    with perf.activate(cp):
+        client.write(payload)
+    with perf.activate(sp):
+        server.receive(client.pending_output())
+        return server.read()
+
+
+class TestServerInitiated:
+    def test_resumed_renegotiation(self, connected):
+        client, server, cp, sp = connected
+        original_master = server.master_secret
+        with perf.activate(sp):
+            server.request_renegotiation()
+        pump(client, server, cp, sp)
+        assert server.renegotiations == 1
+        assert client.renegotiations == 1
+        assert server.resumed           # session id was offered and found
+        assert server.master_secret == original_master
+        assert transfer(client, server, cp, sp, b"post-reneg") == \
+            b"post-reneg"
+
+    def test_resumed_renegotiation_skips_rsa(self, connected):
+        client, server, cp, sp = connected
+        baseline = sp.region_cycles(
+            "get_client_kx/rsa_private_decryption")
+        with perf.activate(sp):
+            server.request_renegotiation()
+        pump(client, server, cp, sp)
+        after = sp.region_cycles("get_client_kx/rsa_private_decryption")
+        assert after == baseline  # no new RSA decryption happened
+
+    def test_data_flows_under_old_keys_before_reneg_completes(
+            self, connected):
+        client, server, cp, sp = connected
+        with perf.activate(sp):
+            server.request_renegotiation()
+        # Client has not yet seen the HelloRequest: writes still work.
+        assert transfer(client, server, cp, sp, b"mid-flight") == \
+            b"mid-flight"
+        pump(client, server, cp, sp)
+        assert server.handshake_complete
+
+    def test_multiple_renegotiations(self, connected):
+        client, server, cp, sp = connected
+        for i in range(3):
+            with perf.activate(sp):
+                server.request_renegotiation()
+            pump(client, server, cp, sp)
+            assert server.handshake_complete
+            assert transfer(client, server, cp, sp,
+                            f"round-{i}".encode()) == f"round-{i}".encode()
+        assert server.renegotiations == 3
+
+    def test_before_first_handshake_rejected(self, identity512):
+        key, cert = identity512
+        server = SslServer(key, cert)
+        with pytest.raises(UnexpectedMessage):
+            server.request_renegotiation()
+
+    def test_disabled_renegotiation(self, identity512):
+        key, cert = identity512
+        sp, cp = perf.Profiler(), perf.Profiler()
+        with perf.activate(sp):
+            server = SslServer(key, cert, suites=(DES_CBC3_SHA,),
+                               allow_renegotiation=False,
+                               rng=PseudoRandom(b"nr-s"))
+        with perf.activate(cp):
+            client = SslClient(suites=(DES_CBC3_SHA,),
+                               rng=PseudoRandom(b"nr-c"))
+            client.start_handshake()
+        pump(client, server, cp, sp)
+        with pytest.raises(UnexpectedMessage):
+            server.request_renegotiation()
+        # A client-initiated attempt is declined with the warning-level
+        # no_renegotiation alert; both sides stay up on the old keys.
+        with perf.activate(cp):
+            client.renegotiate()
+        with perf.activate(sp):
+            server.receive(client.pending_output())
+            assert not server.closed
+            wire = server.pending_output()
+        with perf.activate(cp):
+            client.receive(wire)   # warning alert: abandon renegotiation
+        assert client.handshake_complete and not client.closed
+        assert transfer(client, server, cp, sp,
+                        b"still alive") == b"still alive"
+
+
+class TestClientInitiated:
+    def test_full_renegotiation_changes_master(self, connected):
+        client, server, cp, sp = connected
+        original_master = server.master_secret
+        with perf.activate(cp):
+            client.renegotiate(session=None)  # force a full handshake
+        pump(client, server, cp, sp)
+        assert not server.resumed
+        assert server.master_secret != original_master
+        assert transfer(client, server, cp, sp, b"new-keys") == b"new-keys"
+
+    def test_keys_actually_roll_over(self, connected):
+        client, server, cp, sp = connected
+        state_before = server._records._read_state
+        with perf.activate(cp):
+            client.renegotiate(session=None)
+        pump(client, server, cp, sp)
+        assert server._records._read_state is not state_before
+
+    def test_before_handshake_rejected(self):
+        client = SslClient()
+        with pytest.raises(HandshakeFailure):
+            client.renegotiate()

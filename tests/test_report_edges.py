@@ -1,0 +1,79 @@
+"""Edge cases across the small reporting/formatting helpers."""
+
+import pytest
+
+from repro.perf.report import format_table, kcycles, percent
+from repro.ssl.errors import AlertDescription
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and text.endswith("\n")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_numeric_right_alignment(self):
+        text = format_table(["name", "value"],
+                            [("x", 1.0), ("longer", 200.0)])
+        lines = text.splitlines()
+        # Numeric column right-aligned: the short number ends the line.
+        assert lines[-2].endswith("1.000") or lines[-2].endswith("1")
+
+    def test_large_numbers_thousands_separated(self):
+        text = format_table(["v"], [(1234567.0,)])
+        assert "1,234,567" in text
+
+    def test_title_underlined(self):
+        text = format_table(["c"], [("x",)], title="My Title")
+        lines = text.splitlines()
+        assert lines[0] == "My Title"
+        assert lines[1] == "=" * len("My Title")
+
+    def test_mixed_text_column_left_aligned(self):
+        text = format_table(["name", "n"],
+                            [("a", 1.0), ("bbbb", 2.0)])
+        row_a = [l for l in text.splitlines() if l.startswith("a")][0]
+        assert row_a.startswith("a   ")  # padded to column width
+
+
+class TestSmallHelpers:
+    def test_percent(self):
+        assert percent(0.5) == "50.00%"
+        assert percent(0.0) == "0.00%"
+        assert percent(1.0) == "100.00%"
+
+    def test_kcycles(self):
+        assert kcycles(1500.0) == 1.5
+
+    def test_alert_names_cover_known_codes(self):
+        for code in (0, 10, 20, 30, 40, 41, 42, 43, 44, 45, 46, 47, 100):
+            assert not AlertDescription.name(code).startswith("alert_")
+
+    def test_alert_name_unknown_code(self):
+        assert AlertDescription.name(99) == "alert_99"
+
+
+class TestLoopbackFailure:
+    def test_pump_detects_stuck_protocol(self):
+        """Endpoints that keep emitting without progressing trip the
+        convergence guard instead of spinning forever."""
+        from repro import perf
+        from repro.ssl import SslError
+        from repro.ssl.loopback import pump
+
+        class Chatterbox:
+            handshake_complete = False
+            closed = False
+
+            def pending_output(self):
+                return b"\x15"  # always something, never progress
+
+            def receive(self, data):
+                pass  # swallows everything
+
+        with pytest.raises(SslError, match="converge"):
+            pump(Chatterbox(), Chatterbox(), perf.Profiler(),
+                 perf.Profiler())

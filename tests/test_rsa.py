@@ -1,0 +1,192 @@
+"""RSA: roundtrips, CRT consistency, blinding, the Table 7 anatomy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import perf
+from repro.bignum import BigNum
+from repro.crypto import pkcs1
+from repro.crypto.rand import PseudoRandom
+from repro.crypto.rsa import (
+    RsaError, RsaPrivateKey, RsaPublicKey, generate_key,
+)
+from repro.crypto.sha1 import sha1
+
+
+class TestKeyGeneration:
+    def test_key_structure(self, rsa512):
+        n = rsa512.n.to_int()
+        p, q = rsa512.p.to_int(), rsa512.q.to_int()
+        assert p * q == n
+        assert n.bit_length() == 512
+        assert p > q
+        e, d = rsa512.e.to_int(), rsa512.d.to_int()
+        assert (e * d) % ((p - 1) * (q - 1) // __import__("math").gcd(
+            p - 1, q - 1)) == 1
+
+    def test_crt_components(self, rsa512):
+        p, q, d = (rsa512.p.to_int(), rsa512.q.to_int(), rsa512.d.to_int())
+        assert rsa512.dmp1.to_int() == d % (p - 1)
+        assert rsa512.dmq1.to_int() == d % (q - 1)
+        assert (rsa512.iqmp.to_int() * q) % p == 1
+
+    def test_deterministic_for_seed(self):
+        a = generate_key(128, rng=PseudoRandom(b"same"))
+        b = generate_key(128, rng=PseudoRandom(b"same"))
+        assert a.n == b.n
+
+    def test_odd_bits_rejected(self):
+        with pytest.raises(RsaError):
+            generate_key(129)
+
+    def test_tiny_key_rejected(self):
+        with pytest.raises(RsaError):
+            generate_key(32)
+
+
+class TestRoundtrip:
+    def test_encrypt_decrypt(self, rsa512, rng):
+        msg = b"\x03\x00" + rng.bytes(46)
+        ct = rsa512.public().encrypt(msg, rng)
+        assert len(ct) == 64
+        assert rsa512.decrypt(ct) == msg
+
+    def test_crt_and_noncrt_agree(self, rsa512, rng):
+        ct = rsa512.public().encrypt(b"agree?", rng)
+        rsa512.use_crt = True
+        via_crt = rsa512.decrypt(ct)
+        rsa512.use_crt = False
+        via_plain = rsa512.decrypt(ct)
+        rsa512.use_crt = True
+        assert via_crt == via_plain == b"agree?"
+
+    def test_blinding_does_not_change_result(self, rsa512, rng):
+        ct = rsa512.public().encrypt(b"blinded", rng)
+        rsa512.blinding = False
+        no_blind = rsa512.decrypt(ct)
+        rsa512.blinding = True
+        blind = rsa512.decrypt(ct)
+        assert no_blind == blind == b"blinded"
+
+    def test_repeated_decrypts_consistent(self, rsa512, rng):
+        """Blinding state mutates between calls; results must not."""
+        ct = rsa512.public().encrypt(b"again", rng)
+        assert all(rsa512.decrypt(ct) == b"again" for _ in range(4))
+
+    @given(st.binary(min_size=1, max_size=21))  # 32-byte modulus - 11 pad
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, msg):
+        key = generate_key(256, rng=PseudoRandom(b"prop-key"))
+        rng = PseudoRandom(b"prop-rng")
+        assert key.decrypt(key.public().encrypt(msg, rng)) == msg
+
+    def test_wrong_length_ciphertext(self, rsa512):
+        with pytest.raises(RsaError):
+            rsa512.decrypt(bytes(63))
+
+    def test_corrupted_ciphertext_raises(self, rsa512, rng):
+        ct = bytearray(rsa512.public().encrypt(b"secret", rng))
+        ct[10] ^= 0xFF
+        with pytest.raises((RsaError, pkcs1.Pkcs1Error)):
+            rsa512.decrypt(bytes(ct))
+
+    def test_unreduced_input_rejected(self, rsa512):
+        big = rsa512.n.uadd(BigNum.one())
+        with pytest.raises(RsaError):
+            rsa512.raw_private(big)
+
+
+class TestSignatures:
+    def test_sign_verify(self, rsa512):
+        digest = sha1(b"message").digest()
+        sig = rsa512.sign("sha1", digest)
+        assert rsa512.public().verify(
+            sig, pkcs1.digest_info("sha1", digest))
+
+    def test_verify_rejects_wrong_payload(self, rsa512):
+        sig = rsa512.sign("sha1", sha1(b"message").digest())
+        assert not rsa512.public().verify(
+            sig, pkcs1.digest_info("sha1", sha1(b"other").digest()))
+
+    def test_verify_rejects_bitflip(self, rsa512):
+        digest = sha1(b"message").digest()
+        sig = bytearray(rsa512.sign("sha1", digest))
+        sig[0] ^= 1
+        assert not rsa512.public().verify(
+            bytes(sig), pkcs1.digest_info("sha1", digest))
+
+    def test_verify_rejects_wrong_length(self, rsa512):
+        assert not rsa512.public().verify(b"short",
+                                          pkcs1.digest_info("sha1",
+                                                            bytes(20)))
+
+    def test_raw_payload_signature(self, rsa512):
+        """SSLv3-style: 36-byte md5||sha1 signed without DigestInfo."""
+        payload = bytes(36)
+        sig = rsa512.sign("sha1", payload, raw_payload=True)
+        assert rsa512.public().verify(sig, payload)
+
+    def test_signature_mathematical_property(self, rsa512):
+        digest = sha1(b"m").digest()
+        sig = rsa512.sign("sha1", digest)
+        s = int.from_bytes(sig, "big")
+        n, e = rsa512.n.to_int(), rsa512.e.to_int()
+        block = pow(s, e, n).to_bytes(64, "big")
+        assert block.startswith(b"\x00\x01\xff")
+
+
+class TestPublicKey:
+    def test_even_modulus_rejected(self):
+        with pytest.raises(RsaError):
+            RsaPublicKey(BigNum.from_int(100), BigNum.from_int(3))
+
+    def test_raw_public_matches_pow(self, rsa512):
+        pub = rsa512.public()
+        x = 123456789
+        assert pub.raw_public(BigNum.from_int(x)).to_int() == \
+            pow(x, pub.e.to_int(), pub.n.to_int())
+
+
+class TestAnatomy:
+    """The instrumentation that regenerates Table 7."""
+
+    def test_decrypt_opens_all_six_steps(self, rsa512, rng,
+                                         isolated_profiler):
+        ct = rsa512.public().encrypt(b"anatomy", rng)
+        rsa512.decrypt(ct)
+        base = "rsa_private_decryption"
+        for step in ("init", "data_to_bn", "blinding", "computation",
+                     "bn_to_data", "block_parsing"):
+            assert isolated_profiler.region_cycles(f"{base}/{step}") > 0, step
+
+    def test_computation_dominates(self, rsa512, rng, isolated_profiler):
+        ct = rsa512.public().encrypt(b"dominant", rng)
+        rsa512.decrypt(ct)  # warm-up: blinding setup
+        p = perf.Profiler()
+        with perf.activate(p):
+            rsa512.decrypt(ct)
+        total = p.region_cycles("rsa_private_decryption")
+        comp = p.region_cycles("rsa_private_decryption/computation")
+        assert comp / total > 0.85  # paper: 97-99%
+
+    def test_noncrt_costs_more(self, rsa512, rng):
+        ct = rsa512.public().encrypt(b"crt-vs", rng)
+        rsa512.decrypt(ct)  # warm blinding
+        p_crt, p_plain = perf.Profiler(), perf.Profiler()
+        rsa512.use_crt = True
+        with perf.activate(p_crt):
+            rsa512.decrypt(ct)
+        rsa512.use_crt = False
+        with perf.activate(p_plain):
+            rsa512.decrypt(ct)
+        rsa512.use_crt = True
+        ratio = (p_plain.region_cycles("rsa_private_decryption")
+                 / p_crt.region_cycles("rsa_private_decryption"))
+        assert 2.5 < ratio < 5.0  # theory: ~3.5-4x
+
+    def test_top_function_is_bn_mul_add_words(self, rsa512, rng,
+                                              isolated_profiler):
+        ct = rsa512.public().encrypt(b"flat-profile", rng)
+        rsa512.decrypt(ct)
+        top = isolated_profiler.function_breakdown(top=1)[0][0]
+        assert top == "bn_mul_add_words"  # Table 8's #1

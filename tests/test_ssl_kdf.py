@@ -1,0 +1,127 @@
+"""SSLv3 key derivation tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.md5 import MD5
+from repro.crypto.sha1 import SHA1
+from repro.ssl import kdf
+
+PRE = bytes(range(48))
+CR = bytes(range(32))
+SR = bytes(range(32, 64))
+
+
+class TestDerive:
+    def test_length_exact(self):
+        for n in (0, 1, 15, 16, 17, 48, 104):
+            assert len(kdf.derive(PRE, CR, SR, n)) == n
+
+    def test_deterministic(self):
+        assert kdf.derive(PRE, CR, SR, 64) == kdf.derive(PRE, CR, SR, 64)
+
+    def test_prefix_consistency(self):
+        """Longer derivations extend shorter ones (block structure)."""
+        short = kdf.derive(PRE, CR, SR, 32)
+        long = kdf.derive(PRE, CR, SR, 80)
+        assert long[:32] == short
+
+    def test_salt_progression_changes_blocks(self):
+        out = kdf.derive(PRE, CR, SR, 48)
+        blocks = [out[i:i + 16] for i in range(0, 48, 16)]
+        assert len(set(blocks)) == 3
+
+    def test_random_order_matters(self):
+        assert kdf.derive(PRE, CR, SR, 16) != kdf.derive(PRE, SR, CR, 16)
+
+    def test_block_limit(self):
+        with pytest.raises(ValueError):
+            kdf.derive(PRE, CR, SR, 26 * 16 + 1)
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            kdf.derive(PRE, CR, SR, -1)
+
+
+class TestMasterSecret:
+    def test_is_48_bytes(self):
+        assert len(kdf.master_secret(PRE, CR, SR)) == 48
+
+    def test_empty_premaster_rejected(self):
+        with pytest.raises(ValueError):
+            kdf.master_secret(b"", CR, SR)
+
+    def test_variable_premaster_accepted_for_dh(self):
+        # DH shared secrets are not 48 bytes; the derivation accepts them.
+        assert len(kdf.master_secret(bytes(128), CR, SR)) == 48
+
+    @given(st.binary(min_size=48, max_size=48),
+           st.binary(min_size=32, max_size=32))
+    @settings(max_examples=25, deadline=None)
+    def test_sensitive_to_inputs(self, pre, cr):
+        base = kdf.master_secret(PRE, CR, SR)
+        if pre != PRE:
+            assert kdf.master_secret(pre, CR, SR) != base
+        if cr != CR:
+            assert kdf.master_secret(PRE, cr, SR) != base
+
+    def test_client_random_comes_first(self):
+        """Master-secret derivation orders randoms client-first."""
+        master = kdf.master_secret(PRE, CR, SR)
+        assert master == kdf.derive(PRE, CR, SR, 48)
+
+
+class TestKeyBlock:
+    def test_server_random_comes_first(self):
+        master = kdf.master_secret(PRE, CR, SR)
+        assert kdf.key_block(master, CR, SR, 32) == kdf.derive(
+            master, SR, CR, 32)
+
+    def test_supports_longest_suite(self):
+        # AES256-SHA needs 2*(20+32+16) = 136 bytes
+        master = kdf.master_secret(PRE, CR, SR)
+        assert len(kdf.key_block(master, CR, SR, 136)) == 136
+
+
+class TestFinishedHashes:
+    def _contexts(self, transcript: bytes):
+        m, s = MD5(), SHA1()
+        m.update(transcript)
+        s.update(transcript)
+        return m, s
+
+    def test_shapes(self):
+        m, s = self._contexts(b"handshake-messages")
+        md5_h, sha_h = kdf.finished_hashes(m, s, PRE, kdf.SENDER_CLIENT)
+        assert len(md5_h) == 16 and len(sha_h) == 20
+
+    def test_sender_label_differentiates(self):
+        m1, s1 = self._contexts(b"msgs")
+        m2, s2 = self._contexts(b"msgs")
+        client = kdf.finished_hashes(m1, s1, PRE, kdf.SENDER_CLIENT)
+        server = kdf.finished_hashes(m2, s2, PRE, kdf.SENDER_SERVER)
+        assert client != server
+
+    def test_transcript_differentiates(self):
+        m1, s1 = self._contexts(b"msgs-a")
+        m2, s2 = self._contexts(b"msgs-b")
+        assert kdf.finished_hashes(m1, s1, PRE, kdf.SENDER_CLIENT) != \
+            kdf.finished_hashes(m2, s2, PRE, kdf.SENDER_CLIENT)
+
+    def test_master_differentiates(self):
+        m1, s1 = self._contexts(b"msgs")
+        m2, s2 = self._contexts(b"msgs")
+        assert kdf.finished_hashes(m1, s1, bytes(48), kdf.SENDER_CLIENT) != \
+            kdf.finished_hashes(m2, s2, PRE, kdf.SENDER_CLIENT)
+
+    def test_cert_verify_is_unlabelled_finished(self):
+        m1, s1 = self._contexts(b"msgs")
+        m2, s2 = self._contexts(b"msgs")
+        assert kdf.cert_verify_hashes(m1, s1, PRE) == \
+            kdf.finished_hashes(m2, s2, PRE, b"")
+
+    def test_charges_hash_work(self, isolated_profiler):
+        m, s = self._contexts(b"x" * 512)
+        kdf.finished_hashes(m, s, PRE, kdf.SENDER_SERVER)
+        names = set(isolated_profiler.functions)
+        assert "MD5_Update" in names and "SHA1_Update" in names

@@ -1,0 +1,205 @@
+"""Handshake message serialization/parsing and the codec layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ssl.codec import ByteReader, ByteWriter
+from repro.ssl.errors import DecodeError
+from repro.ssl.handshake import (
+    CertificateMsg, ClientHello, ClientKeyExchange, Finished, HandshakeType,
+    HelloRequest, ServerHello, ServerHelloDone, iter_messages, parse_message,
+)
+
+RAND = bytes(range(32))
+
+
+class TestCodec:
+    def test_integer_widths(self):
+        w = ByteWriter().u8(0xAB).u16(0x1234).u24(0x56789A).u32(0xDEADBEEF)
+        r = ByteReader(w.bytes())
+        assert (r.u8(), r.u16(), r.u24(), r.u32()) == (
+            0xAB, 0x1234, 0x56789A, 0xDEADBEEF)
+        r.expect_end()
+
+    @pytest.mark.parametrize("method,value", [
+        ("u8", 256), ("u16", 1 << 16), ("u24", 1 << 24), ("u32", 1 << 32),
+        ("u8", -1),
+    ])
+    def test_out_of_range_rejected(self, method, value):
+        with pytest.raises(ValueError):
+            getattr(ByteWriter(), method)(value)
+
+    def test_vectors_roundtrip(self):
+        w = ByteWriter().vec8(b"a").vec16(b"bb").vec24(b"ccc")
+        r = ByteReader(w.bytes())
+        assert (r.vec8(), r.vec16(), r.vec24()) == (b"a", b"bb", b"ccc")
+
+    def test_truncation_detected(self):
+        with pytest.raises(DecodeError):
+            ByteReader(b"\x05abc").vec8()
+
+    def test_trailing_bytes_detected(self):
+        r = ByteReader(b"ab")
+        r.u8()
+        with pytest.raises(DecodeError):
+            r.expect_end()
+
+    def test_rest_and_remaining(self):
+        r = ByteReader(b"abcdef")
+        r.raw(2)
+        assert r.remaining() == 4
+        assert r.rest() == b"cdef"
+        assert r.remaining() == 0
+
+
+class TestClientHello:
+    def test_roundtrip(self):
+        msg = ClientHello(client_random=RAND, session_id=b"sess",
+                          cipher_suites=(0x0A, 0x2F),
+                          compression_methods=(0,))
+        parsed = ClientHello.parse(msg.body())
+        assert parsed == msg
+
+    def test_wire_format(self):
+        msg = ClientHello(client_random=RAND, cipher_suites=(0x0A,))
+        body = msg.body()
+        assert body[:2] == b"\x03\x00"
+        assert body[2:34] == RAND
+
+    def test_full_message_framing(self):
+        msg = ClientHello(client_random=RAND, cipher_suites=(0x0A,))
+        raw = msg.to_bytes()
+        assert raw[0] == HandshakeType.CLIENT_HELLO
+        assert int.from_bytes(raw[1:4], "big") == len(raw) - 4
+
+    def test_empty_suites_rejected_on_parse(self):
+        msg = ClientHello(client_random=RAND, cipher_suites=())
+        with pytest.raises(DecodeError):
+            ClientHello.parse(msg.body())
+
+    def test_bad_random_length(self):
+        with pytest.raises(ValueError):
+            ClientHello(client_random=b"short", cipher_suites=(1,)).body()
+
+    def test_odd_suite_bytes_rejected(self):
+        good = ClientHello(client_random=RAND, cipher_suites=(0x0A,))
+        body = bytearray(good.body())
+        # suites vector sits after version+random+session_id; corrupt its
+        # length to be odd
+        idx = 2 + 32
+        sid_len = body[idx]
+        vec_at = idx + 1 + sid_len
+        body[vec_at:vec_at + 2] = (3).to_bytes(2, "big")
+        body.insert(vec_at + 2, 0)
+        with pytest.raises(DecodeError):
+            ClientHello.parse(bytes(body))
+
+
+class TestServerHello:
+    def test_roundtrip(self):
+        msg = ServerHello(server_random=RAND, session_id=b"x" * 32,
+                          cipher_suite=0x000A)
+        assert ServerHello.parse(msg.body()) == msg
+
+    def test_empty_session_id_ok(self):
+        msg = ServerHello(server_random=RAND, session_id=b"",
+                          cipher_suite=5)
+        assert ServerHello.parse(msg.body()).session_id == b""
+
+
+class TestOtherMessages:
+    def test_certificate_chain_roundtrip(self):
+        msg = CertificateMsg(certificates=[b"leaf-cert", b"ca-cert"])
+        parsed = CertificateMsg.parse(msg.body())
+        assert parsed.certificates == [b"leaf-cert", b"ca-cert"]
+
+    def test_empty_chain_roundtrip(self):
+        assert CertificateMsg.parse(
+            CertificateMsg(certificates=[]).body()).certificates == []
+
+    def test_server_hello_done(self):
+        assert ServerHelloDone.parse(b"") == ServerHelloDone()
+        with pytest.raises(DecodeError):
+            ServerHelloDone.parse(b"junk")
+
+    def test_client_kx_is_raw_premaster(self):
+        """SSLv3 quirk: no length prefix on the encrypted pre-master."""
+        msg = ClientKeyExchange(encrypted_pre_master=b"E" * 64)
+        assert msg.body() == b"E" * 64
+        assert ClientKeyExchange.parse(b"E" * 64).encrypted_pre_master == \
+            b"E" * 64
+
+    def test_empty_client_kx_rejected(self):
+        with pytest.raises(DecodeError):
+            ClientKeyExchange.parse(b"")
+
+    def test_finished_shape_sslv3(self):
+        msg = Finished(verify_data=bytes(36))
+        assert len(msg.body()) == 36
+        parsed = Finished.parse(msg.body())
+        assert parsed.md5_hash == bytes(16)
+        assert parsed.sha1_hash == bytes(20)
+        with pytest.raises(DecodeError):
+            Finished.parse(bytes(35))
+
+    def test_finished_shape_tls(self):
+        msg = Finished(verify_data=bytes(range(12)))
+        assert Finished.parse(msg.body()).verify_data == bytes(range(12))
+        with pytest.raises(ValueError):
+            Finished(verify_data=bytes(13)).body()
+
+    def test_client_kx_tls_format(self):
+        msg = ClientKeyExchange(encrypted_pre_master=b"E" * 64,
+                                tls_format=True)
+        body = msg.body()
+        assert body[:2] == (64).to_bytes(2, "big")
+        parsed = ClientKeyExchange.parse_versioned(body, is_tls=True)
+        assert parsed.encrypted_pre_master == b"E" * 64
+        # SSLv3 interpretation of the same bytes keeps the prefix.
+        raw = ClientKeyExchange.parse_versioned(body, is_tls=False)
+        assert raw.encrypted_pre_master == body
+
+    def test_hello_request(self):
+        assert HelloRequest.parse(b"") == HelloRequest()
+
+
+class TestMessageStream:
+    def test_iter_messages_pops_complete(self):
+        buf = bytearray(ClientHello(client_random=RAND,
+                                    cipher_suites=(1,)).to_bytes()
+                        + ServerHelloDone().to_bytes())
+        msgs = iter_messages(buf)
+        assert [t for t, _, _ in msgs] == [HandshakeType.CLIENT_HELLO,
+                                           HandshakeType.SERVER_HELLO_DONE]
+        assert not buf
+
+    def test_iter_messages_keeps_partial(self):
+        raw = ClientHello(client_random=RAND,
+                          cipher_suites=(1,)).to_bytes()
+        buf = bytearray(raw[:10])
+        assert iter_messages(buf) == []
+        assert len(buf) == 10
+        buf += raw[10:]
+        assert len(iter_messages(buf)) == 1
+
+    def test_raw_preserved_for_transcript(self):
+        raw = ServerHelloDone().to_bytes()
+        buf = bytearray(raw)
+        [(_, _, got_raw)] = iter_messages(buf)
+        assert got_raw == raw
+
+    def test_parse_message_dispatch(self):
+        msg = parse_message(HandshakeType.SERVER_HELLO_DONE, b"")
+        assert isinstance(msg, ServerHelloDone)
+
+    def test_parse_message_unknown_type(self):
+        with pytest.raises(DecodeError):
+            parse_message(99, b"")
+
+    @given(st.binary(min_size=32, max_size=32), st.binary(max_size=32),
+           st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_client_hello_roundtrip_property(self, random, sid, suites):
+        msg = ClientHello(client_random=random, session_id=sid,
+                          cipher_suites=tuple(suites))
+        assert ClientHello.parse(msg.body()) == msg

@@ -1,0 +1,258 @@
+"""TLS 1.0 support: PRF vectors, record format, negotiation, interop."""
+
+import pytest
+
+from repro import perf
+from repro.crypto.mac import tls_mac
+from repro.crypto.md5 import MD5
+from repro.crypto.sha1 import SHA1
+from repro.crypto.rand import PseudoRandom
+from repro.ssl import DES_CBC3_SHA, AES128_SHA, RC4_SHA, SessionCache, \
+    SslClient, SslServer
+from repro.ssl import kdf
+from repro.ssl.errors import BadRecordMac, HandshakeFailure
+from repro.ssl.loopback import pump
+from repro.ssl.record import (
+    ConnectionState, ContentType, KeyMaterial, SSL3_VERSION, TLS1_VERSION,
+)
+
+
+def tls_pair(identity, suite=DES_CBC3_SHA, client_version=TLS1_VERSION,
+             max_version=TLS1_VERSION, session=None, cache=None):
+    key, cert = identity
+    sp, cp = perf.Profiler(), perf.Profiler()
+    with perf.activate(sp):
+        server = SslServer(key, cert, suites=(suite,),
+                           max_version=max_version, session_cache=cache,
+                           rng=PseudoRandom(b"tls-s"))
+    with perf.activate(cp):
+        client = SslClient(suites=(suite,), version=client_version,
+                           session=session, rng=PseudoRandom(b"tls-c"))
+        client.start_handshake()
+    pump(client, server, cp, sp)
+    return client, server, cp, sp
+
+
+class TestTlsPrf:
+    def test_known_vector(self):
+        """The widely circulated TLS 1.0 PRF test vector."""
+        out = kdf.tls_prf(b"\xab" * 48, b"PRF Testvector", b"\xcd" * 64, 104)
+        assert out[:16].hex() == "d3d4d1e349b5d515044666d51de32bab"
+
+    def test_length_exact(self):
+        for n in (0, 1, 12, 48, 104, 200):
+            assert len(kdf.tls_prf(b"secret", b"label", b"seed", n)) == n
+
+    def test_label_and_seed_sensitivity(self):
+        base = kdf.tls_prf(b"s", b"l", b"seed", 16)
+        assert kdf.tls_prf(b"s", b"l2", b"seed", 16) != base
+        assert kdf.tls_prf(b"s", b"l", b"seed2", 16) != base
+        assert kdf.tls_prf(b"s2", b"l", b"seed", 16) != base
+
+    def test_master_secret_differs_from_sslv3(self):
+        pre, cr, sr = bytes(48), bytes(range(32)), bytes(range(32, 64))
+        assert kdf.tls_master_secret(pre, cr, sr) != \
+            kdf.master_secret(pre, cr, sr)
+
+    def test_finished_labels_differ(self):
+        master = bytes(48)
+        m, s = MD5(b"transcript"), SHA1(b"transcript")
+        client_vd = kdf.tls_finished(m.copy(), s.copy(), master, True)
+        server_vd = kdf.tls_finished(m.copy(), s.copy(), master, False)
+        assert len(client_vd) == len(server_vd) == 12
+        assert client_vd != server_vd
+
+
+class TestTlsRecord:
+    def _states(self, suite):
+        block = kdf.tls_key_block(bytes(48), bytes(32), bytes(32),
+                                  suite.key_material_length())
+        mk, kk, ik = suite.mac_key_len, suite.key_len, suite.iv_len
+        material = KeyMaterial(block[:mk], block[2 * mk:2 * mk + kk],
+                               block[2 * (mk + kk):2 * (mk + kk) + ik])
+        tx = ConnectionState(suite, material, version=TLS1_VERSION)
+        rx = ConnectionState(
+            suite, KeyMaterial(material.mac_secret, material.key,
+                               material.iv), version=TLS1_VERSION)
+        return tx, rx
+
+    def test_roundtrip(self):
+        tx, rx = self._states(DES_CBC3_SHA)
+        body = tx.seal(ContentType.APPLICATION_DATA, b"tls record" * 7)
+        assert rx.open(ContentType.APPLICATION_DATA,
+                       body) == b"tls record" * 7
+
+    def test_tls_padding_bytes_carry_length(self):
+        """A same-key SSLv3 receiver must reject TLS padding and vice
+        versa (different MAC construction catches it first)."""
+        tx, rx = self._states(AES128_SHA)
+        body = tx.seal(ContentType.APPLICATION_DATA, b"q" * 10)
+        assert rx.open(ContentType.APPLICATION_DATA, body) == b"q" * 10
+
+    def test_mac_construction_differs_from_sslv3(self):
+        from repro.crypto.mac import ssl3_mac
+        secret = bytes(range(20))
+        tls = tls_mac(SHA1, secret, 0, 23, TLS1_VERSION, b"data")
+        ssl = ssl3_mac(SHA1, secret, 0, 23, b"data")
+        assert tls != ssl
+
+    def test_tls_mac_covers_version(self):
+        secret = bytes(20)
+        a = tls_mac(SHA1, secret, 0, 23, 0x0301, b"data")
+        b = tls_mac(SHA1, secret, 0, 23, 0x0302, b"data")
+        assert a != b
+
+    def test_version_mismatch_between_peers_fails(self):
+        tx, _ = self._states(DES_CBC3_SHA)
+        block = kdf.tls_key_block(bytes(48), bytes(32), bytes(32),
+                                  DES_CBC3_SHA.key_material_length())
+        mk, kk, ik = (DES_CBC3_SHA.mac_key_len, DES_CBC3_SHA.key_len,
+                      DES_CBC3_SHA.iv_len)
+        material = KeyMaterial(block[:mk], block[2 * mk:2 * mk + kk],
+                               block[2 * (mk + kk):2 * (mk + kk) + ik])
+        rx_ssl3 = ConnectionState(DES_CBC3_SHA, material,
+                                  version=SSL3_VERSION)
+        body = tx.seal(ContentType.APPLICATION_DATA, b"versioned")
+        with pytest.raises(BadRecordMac):
+            rx_ssl3.open(ContentType.APPLICATION_DATA, body)
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectionState(DES_CBC3_SHA,
+                            KeyMaterial(bytes(20), bytes(24), bytes(8)),
+                            version=0x0302)
+
+
+class TestTlsHandshake:
+    @pytest.mark.parametrize("suite", [DES_CBC3_SHA, AES128_SHA, RC4_SHA],
+                             ids=lambda s: s.name)
+    def test_handshake_completes(self, identity512, suite):
+        client, server, cp, sp = tls_pair(identity512, suite)
+        assert client.handshake_complete and server.handshake_complete
+        assert client.version == server.version == TLS1_VERSION
+        assert client.master_secret == server.master_secret
+
+    def test_application_data(self, identity512):
+        client, server, cp, sp = tls_pair(identity512)
+        with perf.activate(cp):
+            client.write(b"over tls 1.0" * 30)
+        with perf.activate(sp):
+            server.receive(client.pending_output())
+            assert server.read() == b"over tls 1.0" * 30
+
+    def test_finished_is_12_bytes(self, identity512):
+        client, server, _, _ = tls_pair(identity512)
+        # Indirect: verify_data computation yields 12 bytes for TLS.
+        assert len(client._compute_verify_data(True)) == 12
+        assert len(server._compute_verify_data(False)) == 12
+
+    def test_server_caps_version(self, identity512):
+        client, server, _, _ = tls_pair(identity512,
+                                        max_version=SSL3_VERSION)
+        assert client.version == server.version == SSL3_VERSION
+        assert client.handshake_complete
+
+    def test_ssl3_client_unaffected(self, identity512):
+        client, server, _, _ = tls_pair(identity512,
+                                        client_version=SSL3_VERSION)
+        assert client.version == server.version == SSL3_VERSION
+
+    def test_premaster_carries_offered_version(self, identity512):
+        """Rollback defence: a TLS client's pre-master says 0x0301 even if
+        the server negotiated down to SSLv3 -- both sides must agree."""
+        client, server, _, _ = tls_pair(identity512,
+                                        max_version=SSL3_VERSION,
+                                        client_version=TLS1_VERSION)
+        # Handshake completed: server validated 0x0301 in the pre-master.
+        assert server.handshake_complete
+
+    def test_tls_resumption(self, identity512):
+        cache = SessionCache()
+        c1, s1, _, _ = tls_pair(identity512, cache=cache)
+        c2, s2, _, _ = tls_pair(identity512, cache=cache,
+                                session=c1.session)
+        assert s2.resumed and c2.resumed
+        assert c2.version == TLS1_VERSION
+
+    def test_tls_and_ssl3_masters_differ(self, identity512):
+        tls_client, _, _, _ = tls_pair(identity512)
+        ssl_client, _, _, _ = tls_pair(identity512,
+                                       client_version=SSL3_VERSION)
+        assert tls_client.master_secret != ssl_client.master_secret
+
+    def test_tls_handshake_cost_similar_to_ssl3(self, identity512):
+        """The version change moves hashing work around but RSA still
+        dominates: totals within 20%."""
+        _, _, _, sp_tls = tls_pair(identity512)
+        _, _, _, sp_ssl = tls_pair(identity512,
+                                   client_version=SSL3_VERSION)
+        ratio = sp_tls.total_cycles() / sp_ssl.total_cycles()
+        assert 0.8 < ratio < 1.25
+
+
+class TestExportSuites:
+    """40-bit export suites: short secrets expanded to full write keys."""
+
+    @pytest.mark.parametrize("version", [SSL3_VERSION, TLS1_VERSION],
+                             ids=["sslv3", "tls10"])
+    def test_export_handshake_and_transfer(self, identity512, version):
+        from repro.ssl.ciphersuites import EXP_RC4_MD5
+        client, server, cp, sp = tls_pair(identity512, suite=EXP_RC4_MD5,
+                                          client_version=version)
+        assert client.handshake_complete and server.handshake_complete
+        with perf.activate(cp):
+            client.write(b"weak but working" * 8)
+        with perf.activate(sp):
+            server.receive(client.pending_output())
+            assert server.read() == b"weak but working" * 8
+
+    def test_export_des_cbc(self, identity512):
+        from repro.ssl.ciphersuites import EXP_DES_CBC_SHA
+        client, server, cp, sp = tls_pair(identity512,
+                                          suite=EXP_DES_CBC_SHA,
+                                          client_version=SSL3_VERSION)
+        assert client.handshake_complete
+        with perf.activate(cp):
+            client.write(b"des export path!" * 4)
+        with perf.activate(sp):
+            server.receive(client.pending_output())
+            assert server.read() == b"des export path!" * 4
+
+    def test_key_block_is_smaller_for_export(self):
+        from repro.ssl.ciphersuites import EXP_RC4_MD5, RC4_MD5
+        assert EXP_RC4_MD5.key_material_length() < \
+            RC4_MD5.key_material_length()
+        assert EXP_RC4_MD5.key_material_length() == 2 * (16 + 5)
+
+    def test_export_keys_differ_per_direction(self, identity512):
+        """The MD5 expansion orders the randoms differently per side, so
+        write keys differ even from identical short secrets."""
+        from repro.ssl.ciphersuites import EXP_RC4_MD5
+        client, server, _, _ = tls_pair(identity512, suite=EXP_RC4_MD5,
+                                        client_version=SSL3_VERSION)
+        c_state, s_state = client._build_states()
+        ck, sk, civ, siv = client._expand_export_keys(
+            EXP_RC4_MD5, b"\x01" * 5, b"\x01" * 5)
+        assert ck != sk
+
+
+class TestTlsEnvironment:
+    def test_run_session_version_knob(self, identity512):
+        from repro.ssl.loopback import run_session
+        key, cert = identity512
+        result = run_session(b"tls session" * 10, key=key, cert=cert,
+                             version=TLS1_VERSION)
+        assert result.echoed == b"tls session" * 10
+        assert result.server.version == TLS1_VERSION
+
+    def test_webserver_over_tls(self, identity512):
+        from repro.webserver import RequestWorkload, WebServerSimulator
+        key, cert = identity512
+        sim = WebServerSimulator(key=key, cert=cert, use_crt=True,
+                                 version=TLS1_VERSION)
+        result = sim.run(RequestWorkload.fixed(1024), 1)
+        assert result.requests_completed == 1 and result.failures == 0
+        # (With the fast 512-bit CRT fixture the crypto share is small;
+        # the Table 1 dominance claim is checked at the paper's config.)
+        assert result.module_shares()["libcrypto"] > 0.05
+        assert result.crypto_category_shares()["public"] > 0.3

@@ -1,0 +1,93 @@
+"""Command-line tools (repro.tools.speed / repro.tools.anatomy)."""
+
+import json
+
+import pytest
+
+from repro.tools import anatomy, speed
+
+
+class TestSpeed:
+    def test_table_output(self, capsys):
+        assert speed.main(["md5", "--bytes", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "MD5" in out
+        assert "modelled MB/s" in out
+
+    def test_json_output(self, capsys):
+        assert speed.main(["rc4", "sha1", "--json", "--bytes", "1024"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [d["algorithm"] for d in data] == ["rc4", "sha1"]
+        for d in data:
+            assert d["modelled_mbps"] > 0
+            assert d["bytes"] == 1024
+
+    def test_rsa_bits_option(self, capsys):
+        assert speed.main(["rsa", "--rsa-bits", "512", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["bytes"] == 64  # 512-bit modulus
+
+    def test_default_runs_all(self, capsys):
+        assert speed.main(["--bytes", "1024"]) == 0
+        out = capsys.readouterr().out
+        for name in ("AES", "DES", "3DES", "RC4", "RSA", "MD5", "SHA1"):
+            assert name in out
+
+    def test_unknown_algorithm_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            speed.main(["blowfish"])
+
+    def test_bad_bytes_rejected(self):
+        with pytest.raises(SystemExit):
+            speed.main(["aes", "--bytes", "100"])
+
+
+class TestAnatomy:
+    def test_kernel_target(self, capsys):
+        assert anatomy.main(["sha1"]) == 0
+        out = capsys.readouterr().out
+        assert "==== sha1" in out
+
+    def test_rsa_region_tree(self, capsys):
+        assert anatomy.main(["rsa"]) == 0
+        out = capsys.readouterr().out
+        assert "rsa_private_decryption" in out
+        assert "computation" in out
+
+    def test_csv_flag(self, capsys):
+        assert anatomy.main(["rsa", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "function,module,calls,cycles" in out
+        assert "bn_mul_add_words" in out
+
+    def test_unknown_target(self):
+        with pytest.raises(SystemExit):
+            anatomy.main(["quantum"])
+
+    @pytest.mark.slow
+    def test_handshake_target(self, capsys):
+        assert anatomy.main(["handshake", "--crt"]) == 0
+        out = capsys.readouterr().out
+        assert "get_client_kx" in out
+
+
+class TestCompare:
+    def test_crt_knob(self, capsys):
+        from repro.tools import compare
+        assert compare.main(["--knob", "crt", "--bits", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "bn_mul_add_words" in out
+        assert "non-CRT" in out and "totals:" in out
+
+    def test_suite_knob(self, capsys):
+        from repro.tools import compare
+        assert compare.main(["--knob", "suite", "--bits", "512",
+                             "--suites", "DES-CBC3-SHA", "RC4-MD5"]) == 0
+        out = capsys.readouterr().out
+        assert "RC4-MD5" in out
+
+    @pytest.mark.slow
+    def test_version_knob(self, capsys):
+        from repro.tools import compare
+        assert compare.main(["--knob", "version", "--bits", "512"]) == 0
+        assert "TLS1.0" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""The ssldump-style wire tracer."""
+
+import pytest
+
+from repro import perf
+from repro.crypto.rand import PseudoRandom
+from repro.ssl import DES_CBC3_SHA, SslClient, SslServer
+from repro.ssl.loopback import make_server_identity
+from repro.ssl.trace import WireTracer, format_trace
+
+
+@pytest.fixture(scope="module")
+def traced_handshake():
+    key, cert = make_server_identity(512, seed=b"trace")
+    sp, cp = perf.Profiler(), perf.Profiler()
+    tracer = WireTracer()
+    with perf.activate(sp):
+        server = SslServer(key, cert, suites=(DES_CBC3_SHA,),
+                           rng=PseudoRandom(b"tr-s"))
+    with perf.activate(cp):
+        client = SslClient(suites=(DES_CBC3_SHA,),
+                           rng=PseudoRandom(b"tr-c"))
+        client.start_handshake()
+    for _ in range(8):
+        with perf.activate(cp):
+            c_out = client.pending_output()
+        with perf.activate(sp):
+            s_out = server.pending_output()
+        if not c_out and not s_out:
+            break
+        if c_out:
+            tracer.feed("client", c_out)
+            with perf.activate(sp):
+                server.receive(c_out)
+        if s_out:
+            tracer.feed("server", s_out)
+            with perf.activate(cp):
+                client.receive(s_out)
+    with perf.activate(cp):
+        client.write(b"app data payload")
+        app = client.pending_output()
+    tracer.feed("client", app)
+    with perf.activate(sp):
+        server.receive(app)
+    return tracer
+
+
+class TestFullHandshakeTrace:
+    def test_figure1_message_sequence(self, traced_handshake):
+        descriptions = [e.description for e in traced_handshake.events]
+        expected_order = [
+            "client_hello", "server_hello", "certificate",
+            "server_hello_done", "client_key_exchange",
+            "change_cipher_spec", "finished (encrypted)",
+            "change_cipher_spec", "finished (encrypted)",
+            "application_data (encrypted)",
+        ]
+        pos = 0
+        for want in expected_order:
+            while pos < len(descriptions) and \
+                    want not in descriptions[pos]:
+                pos += 1
+            assert pos < len(descriptions), (want, descriptions)
+
+    def test_directions_alternate_sensibly(self, traced_handshake):
+        first = traced_handshake.events[0]
+        assert first.direction == "client->server"
+        assert first.description == "client_hello"
+
+    def test_format_trace_lines(self, traced_handshake):
+        text = format_trace(traced_handshake.events)
+        assert "client->server" in text
+        assert "server->client" in text
+        assert text.count("\n") == len(traced_handshake.events)
+
+
+class TestTracerUnits:
+    def test_plaintext_appdata_flagged(self):
+        from repro.ssl.record import ContentType, RecordLayer
+        tracer = WireTracer()
+        wire = RecordLayer().emit(ContentType.APPLICATION_DATA, b"oops")
+        [event] = tracer.feed("client", wire)
+        assert "plaintext!" in event.description
+
+    def test_alert_decoding(self):
+        from repro.ssl.record import ContentType, RecordLayer
+        tracer = WireTracer()
+        wire = RecordLayer().emit(ContentType.ALERT, bytes([2, 40]))
+        [event] = tracer.feed("server", wire)
+        assert event.description == "alert: handshake_failure (fatal)"
+
+    def test_v2_hello_recognized(self):
+        from repro.ssl.handshake import build_v2_client_hello, v2_record
+        tracer = WireTracer()
+        wire = v2_record(build_v2_client_hello(0x0300, (0x0A,), b"C" * 16))
+        [event] = tracer.feed("client", wire)
+        assert "v2 client_hello" in event.description
+
+    def test_partial_delivery_buffers(self):
+        from repro.ssl.record import ContentType, RecordLayer
+        tracer = WireTracer()
+        wire = RecordLayer().emit(ContentType.HANDSHAKE, b"\x00\x00\x00\x00")
+        assert tracer.feed("client", wire[:3]) == []
+        [event] = tracer.feed("client", wire[3:])
+        assert event.description == "hello_request"
+
+    def test_coalesced_messages_in_one_record(self):
+        from repro.ssl.handshake import ServerHelloDone
+        from repro.ssl.record import ContentType, RecordLayer
+        tracer = WireTracer()
+        payload = ServerHelloDone().to_bytes() * 2
+        wire = RecordLayer().emit(ContentType.HANDSHAKE, payload)
+        [event] = tracer.feed("server", wire)
+        assert event.description == "server_hello_done, server_hello_done"
+
+    def test_unknown_sender_rejected(self):
+        with pytest.raises(ValueError):
+            WireTracer().feed("eve", b"")
+
+    def test_custom_labels(self):
+        tracer = WireTracer(client_label="browser", server_label="bank")
+        from repro.ssl.record import ContentType, RecordLayer
+        wire = RecordLayer().emit(ContentType.ALERT, bytes([1, 0]))
+        [event] = tracer.feed("client", wire)
+        assert event.direction == "browser->bank"

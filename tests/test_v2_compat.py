@@ -1,0 +1,124 @@
+"""SSLv2-compatibility ClientHello (how era browsers opened connections)."""
+
+import pytest
+
+from repro import perf
+from repro.crypto.rand import PseudoRandom
+from repro.ssl import DES_CBC3_SHA, SslClient, SslServer, TLS1_VERSION
+from repro.ssl.errors import DecodeError, SslError, UnexpectedMessage
+from repro.ssl.handshake import (
+    build_v2_client_hello, parse_v2_client_hello, v2_record,
+)
+from repro.ssl.loopback import make_server_identity, pump
+from repro.ssl.record import ContentType, RecordLayer
+
+
+class TestV2Message:
+    def test_build_parse_roundtrip(self):
+        msg = build_v2_client_hello(0x0300, (0x0A, 0x2F), b"C" * 24)
+        hello = parse_v2_client_hello(msg)
+        assert hello.version == 0x0300
+        assert hello.cipher_suites == (0x0A, 0x2F)
+        assert hello.client_random == (b"C" * 24).rjust(32, b"\x00")
+        assert hello.session_id == b""
+
+    def test_challenge_length_bounds(self):
+        with pytest.raises(ValueError):
+            build_v2_client_hello(0x0300, (0x0A,), b"short")
+        with pytest.raises(ValueError):
+            build_v2_client_hello(0x0300, (0x0A,), b"x" * 33)
+
+    def test_empty_suites_rejected(self):
+        with pytest.raises(ValueError):
+            build_v2_client_hello(0x0300, (), b"C" * 16)
+
+    def test_v2_only_suites_filtered(self):
+        # A 3-byte v2-native cipher code (> 0xFFFF) must be dropped; if
+        # nothing v3-compatible remains, the hello is rejected.
+        msg = bytearray(build_v2_client_hello(0x0300, (0x0A,), b"C" * 16))
+        msg[9] = 0x07  # turn 0x00000A into 0x07000A (v2-native code)
+        with pytest.raises(DecodeError):
+            parse_v2_client_hello(bytes(msg))
+
+    def test_record_header(self):
+        rec = v2_record(b"hello")
+        assert rec[0] & 0x80
+        assert (int.from_bytes(rec[:2], "big") & 0x7FFF) == 5
+
+    def test_malformed_spec_length(self):
+        msg = bytearray(build_v2_client_hello(0x0300, (0x0A,), b"C" * 16))
+        msg[3:5] = (4).to_bytes(2, "big")  # not a multiple of 3
+        with pytest.raises(DecodeError):
+            parse_v2_client_hello(bytes(msg))
+
+
+class TestRecordLayerV2:
+    def test_v2_record_detected_first(self):
+        rl = RecordLayer()
+        msg = build_v2_client_hello(0x0300, (0x0A,), b"C" * 16)
+        records = rl.feed(v2_record(msg))
+        assert records == [(ContentType.V2_CLIENT_HELLO, msg)]
+
+    def test_v2_after_v3_rejected(self):
+        rl = RecordLayer()
+        rl.feed(rl.emit(ContentType.HANDSHAKE, b"x"))
+        msg = build_v2_client_hello(0x0300, (0x0A,), b"C" * 16)
+        # The MSB-set byte now reads as an invalid v3 content type.
+        with pytest.raises(SslError):
+            rl.feed(v2_record(msg))
+
+    def test_partial_v2_record_buffers(self):
+        rl = RecordLayer()
+        msg = build_v2_client_hello(0x0300, (0x0A,), b"C" * 16)
+        wire = v2_record(msg)
+        assert rl.feed(wire[:5]) == []
+        assert rl.feed(wire[5:]) == [(ContentType.V2_CLIENT_HELLO, msg)]
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("version", [0x0300, TLS1_VERSION],
+                             ids=["sslv3", "tls10"])
+    def test_v2_hello_opens_v3_handshake(self, identity512, version):
+        key, cert = identity512
+        sp, cp = perf.Profiler(), perf.Profiler()
+        with perf.activate(sp):
+            server = SslServer(key, cert, suites=(DES_CBC3_SHA,),
+                               rng=PseudoRandom(b"v2-s"))
+        with perf.activate(cp):
+            client = SslClient(suites=(DES_CBC3_SHA,), version=version,
+                               use_v2_hello=True,
+                               rng=PseudoRandom(b"v2-c"))
+            client.start_handshake()
+        pump(client, server, cp, sp)
+        assert client.handshake_complete and server.handshake_complete
+        assert server.version == version
+        with perf.activate(cp):
+            client.write(b"v2-opened channel")
+        with perf.activate(sp):
+            server.receive(client.pending_output())
+            assert server.read() == b"v2-opened channel"
+
+    def test_v2_hello_rejected_on_renegotiation(self, identity512):
+        """The v2 compatibility form is only legal as the first message."""
+        key, cert = identity512
+        sp, cp = perf.Profiler(), perf.Profiler()
+        with perf.activate(sp):
+            server = SslServer(key, cert, suites=(DES_CBC3_SHA,),
+                               rng=PseudoRandom(b"v2r-s"))
+        with perf.activate(cp):
+            client = SslClient(suites=(DES_CBC3_SHA,),
+                               rng=PseudoRandom(b"v2r-c"))
+            client.start_handshake()
+        pump(client, server, cp, sp)
+        msg = build_v2_client_hello(0x0300, (DES_CBC3_SHA.suite_id,),
+                                    b"C" * 16)
+        with pytest.raises(SslError), perf.activate(sp):
+            server.receive(v2_record(msg))
+
+    def test_client_to_v2_hello_raises(self, identity512):
+        """Clients must never receive a v2 hello."""
+        client = SslClient()
+        client.start_handshake()
+        msg = build_v2_client_hello(0x0300, (0x0A,), b"C" * 16)
+        with pytest.raises(SslError):
+            client.receive(v2_record(msg))

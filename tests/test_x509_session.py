@@ -1,0 +1,248 @@
+"""Certificates and session cache."""
+
+import pytest
+
+from repro.ssl.errors import BadCertificate
+from repro.ssl.session import SessionCache, SslSession
+from repro.ssl.x509 import Certificate, make_self_signed
+
+
+class TestCertificate:
+    def test_self_signed_roundtrip(self, rsa512):
+        cert = make_self_signed("CN=unit-test", rsa512, serial=7)
+        parsed = Certificate.from_bytes(cert.to_bytes())
+        assert parsed.subject == "CN=unit-test"
+        assert parsed.serial == 7
+        assert parsed.public_key.n == rsa512.n
+        assert parsed.verify(rsa512.public())
+
+    def test_unsigned_cannot_encode(self, rsa512):
+        cert = Certificate(subject="s", issuer="s", serial=1, not_before=0,
+                           not_after=10, public_key=rsa512.public())
+        with pytest.raises(BadCertificate):
+            cert.to_bytes()
+
+    def test_verify_unsigned_false(self, rsa512):
+        cert = Certificate(subject="s", issuer="s", serial=1, not_before=0,
+                           not_after=10, public_key=rsa512.public())
+        assert not cert.verify(rsa512.public())
+
+    def test_tampered_subject_fails_verification(self, rsa512):
+        cert = make_self_signed("CN=original", rsa512)
+        cert.subject = "CN=attacker"
+        assert not cert.verify(rsa512.public())
+
+    def test_wrong_issuer_key_fails(self, rsa512):
+        from repro.crypto.rand import PseudoRandom
+        from repro.crypto.rsa import generate_key
+        other = generate_key(256, rng=PseudoRandom(b"other-issuer"))
+        cert = make_self_signed("CN=x", rsa512)
+        assert not cert.verify(other.public())
+
+    def test_garbage_bytes_rejected(self):
+        with pytest.raises(BadCertificate):
+            Certificate.from_bytes(b"not a certificate")
+
+    def test_truncated_bytes_rejected(self, rsa512):
+        data = make_self_signed("CN=x", rsa512).to_bytes()
+        with pytest.raises(BadCertificate):
+            Certificate.from_bytes(data[:len(data) // 2])
+
+    def test_validity_window(self, rsa512):
+        cert = Certificate(subject="s", issuer="s", serial=1,
+                           not_before=100, not_after=200,
+                           public_key=rsa512.public())
+        assert cert.is_valid_at(100)
+        assert cert.is_valid_at(200)
+        assert not cert.is_valid_at(99)
+        assert not cert.is_valid_at(201)
+
+    def test_cross_signing(self, rsa512, rsa1024):
+        """A CA key signs a leaf holding a different public key."""
+        leaf = Certificate(subject="CN=leaf", issuer="CN=ca", serial=2,
+                           not_before=0, not_after=2**31,
+                           public_key=rsa512.public())
+        leaf.sign_with(rsa1024)
+        assert leaf.verify(rsa1024.public())
+        assert not leaf.verify(rsa512.public())
+
+    def test_parse_charges_x509_functions(self, rsa512, isolated_profiler):
+        Certificate.from_bytes(make_self_signed("CN=q", rsa512).to_bytes())
+        assert "X509_functions" in isolated_profiler.functions
+
+
+class TestSslSession:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SslSession(session_id=b"", cipher_suite_id=10,
+                       master_secret=bytes(48))
+        with pytest.raises(ValueError):
+            SslSession(session_id=b"x" * 33, cipher_suite_id=10,
+                       master_secret=bytes(48))
+        with pytest.raises(ValueError):
+            SslSession(session_id=b"ok", cipher_suite_id=10,
+                       master_secret=bytes(47))
+
+
+class TestSessionCache:
+    def _session(self, tag: bytes) -> SslSession:
+        return SslSession(session_id=tag.ljust(8, b"\0"),
+                          cipher_suite_id=0x0A, master_secret=bytes(48))
+
+    def test_put_get(self):
+        cache = SessionCache()
+        s = self._session(b"a")
+        cache.put(s)
+        assert cache.get(s.session_id) is s
+        assert cache.hits == 1
+
+    def test_miss_counted(self):
+        cache = SessionCache()
+        assert cache.get(b"missing!") is None
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = SessionCache(capacity=2)
+        a, b, c = (self._session(t) for t in (b"a", b"b", b"c"))
+        cache.put(a)
+        cache.put(b)
+        cache.get(a.session_id)  # a is now most-recently used
+        cache.put(c)             # evicts b
+        assert cache.get(b.session_id) is None
+        assert cache.get(a.session_id) is a
+        assert len(cache) == 2
+
+    def test_reput_moves_to_end(self):
+        cache = SessionCache(capacity=2)
+        a, b, c = (self._session(t) for t in (b"a", b"b", b"c"))
+        cache.put(a)
+        cache.put(b)
+        cache.put(a)  # refresh a
+        cache.put(c)  # evicts b
+        assert cache.get(a.session_id) is a
+        assert cache.get(b.session_id) is None
+
+    def test_remove(self):
+        cache = SessionCache()
+        s = self._session(b"a")
+        cache.put(s)
+        cache.remove(s.session_id)
+        assert cache.get(s.session_id) is None
+        cache.remove(b"not-there")  # no error
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SessionCache(capacity=0)
+
+
+class TestChainVerification:
+    @pytest.fixture(scope="class")
+    def ca_setup(self, rsa512, rsa1024):
+        from repro.ssl.x509 import make_ca_signed_pair
+        leaf, ca = make_ca_signed_pair("CN=test-ca", "CN=leaf-server",
+                                       ca_key=rsa1024, leaf_key=rsa512)
+        return leaf, ca
+
+    def test_valid_chain(self, ca_setup):
+        from repro.ssl.x509 import verify_chain
+        leaf, ca = ca_setup
+        assert verify_chain([leaf, ca])
+
+    def test_single_self_signed(self, rsa512):
+        from repro.ssl.x509 import verify_chain
+        cert = make_self_signed("CN=solo", rsa512)
+        assert verify_chain([cert])
+
+    def test_empty_chain(self):
+        from repro.ssl.x509 import verify_chain
+        assert not verify_chain([])
+
+    def test_broken_link_rejected(self, ca_setup, rsa512):
+        from repro.ssl.x509 import verify_chain
+        leaf, ca = ca_setup
+        impostor = make_self_signed("CN=test-ca", rsa512)  # wrong key
+        assert not verify_chain([leaf, impostor])
+
+    def test_issuer_name_mismatch_rejected(self, ca_setup, rsa1024):
+        from repro.ssl.x509 import verify_chain
+        leaf, _ = ca_setup
+        other_ca = make_self_signed("CN=different-ca", rsa1024)
+        assert not verify_chain([leaf, other_ca])
+
+    def test_trust_anchor_required_when_given(self, ca_setup, rsa512):
+        from repro.ssl.x509 import verify_chain
+        leaf, ca = ca_setup
+        stranger = make_self_signed("CN=stranger", rsa512)
+        assert verify_chain([leaf, ca], trusted=[ca])
+        assert not verify_chain([leaf, ca], trusted=[stranger])
+
+    def test_expired_certificate_rejected(self, rsa512):
+        from repro.ssl.x509 import verify_chain
+        cert = make_self_signed("CN=expired", rsa512, not_before=100,
+                                not_after=200)
+        assert verify_chain([cert], at_time=150)
+        assert not verify_chain([cert], at_time=250)
+
+    def test_handshake_with_chain(self, rsa512, rsa1024):
+        from repro import perf
+        from repro.crypto.rand import PseudoRandom
+        from repro.ssl import DES_CBC3_SHA, SslClient, SslServer
+        from repro.ssl.loopback import pump
+        from repro.ssl.x509 import make_ca_signed_pair
+        leaf, ca = make_ca_signed_pair("CN=chain-ca", "CN=chain-leaf",
+                                       ca_key=rsa1024, leaf_key=rsa512)
+        sp, cp = perf.Profiler(), perf.Profiler()
+        with perf.activate(sp):
+            server = SslServer(rsa512, leaf, suites=(DES_CBC3_SHA,),
+                               cert_chain=(ca,),
+                               rng=PseudoRandom(b"chain-s"))
+        with perf.activate(cp):
+            client = SslClient(suites=(DES_CBC3_SHA,), trusted_issuer=ca,
+                               rng=PseudoRandom(b"chain-c"))
+            client.start_handshake()
+        pump(client, server, cp, sp)
+        assert client.handshake_complete and server.handshake_complete
+        assert client.server_certificate.subject == "CN=chain-leaf"
+
+
+class TestSessionExpiry:
+    def _session(self, created=0.0, lifetime=300.0):
+        return SslSession(session_id=b"expiring", cipher_suite_id=0x0A,
+                          master_secret=bytes(48), created_at=created,
+                          lifetime=lifetime)
+
+    def test_fresh_session_found(self):
+        cache = SessionCache()
+        cache.put(self._session())
+        assert cache.get(b"expiring", now=100.0) is not None
+
+    def test_expired_session_misses_and_drops(self):
+        cache = SessionCache()
+        cache.put(self._session(created=0.0, lifetime=300.0))
+        assert cache.get(b"expiring", now=301.0) is None
+        assert cache.misses == 1
+        assert len(cache) == 0
+
+    def test_no_clock_skips_expiry(self):
+        cache = SessionCache()
+        cache.put(self._session(lifetime=1.0))
+        assert cache.get(b"expiring") is not None
+
+    def test_purge_expired(self):
+        cache = SessionCache()
+        cache.put(self._session(created=0.0, lifetime=10.0))
+        fresh = SslSession(session_id=b"fresh-one", cipher_suite_id=0x0A,
+                           master_secret=bytes(48), created_at=100.0)
+        cache.put(fresh)
+        assert cache.purge_expired(now=50.0) == 1
+        assert len(cache) == 1
+        assert cache.get(b"fresh-one") is fresh
+
+    def test_lifetime_validation(self):
+        with pytest.raises(ValueError):
+            self._session(lifetime=0)
+
+    def test_boundary_not_expired(self):
+        s = self._session(created=0.0, lifetime=300.0)
+        assert not s.expired_at(300.0)
+        assert s.expired_at(300.0001)
