@@ -1,21 +1,30 @@
 # Convenience targets for the repro-ssl-anatomy reproduction.
+#
+# The package is imported from ./src; every target exports PYTHONPATH so the
+# targets work without an editable install (matching how CI invokes pytest).
 
-.PHONY: install test bench examples artifacts all
+PY_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
+
+.PHONY: install test check bench examples artifacts all
 
 install:
 	pip install -e .
 
 test:
-	pytest tests/
+	$(PY_ENV) pytest tests/
+
+# The tier-1 gate, verbatim: what CI runs against this repository.
+check:
+	$(PY_ENV) python -m pytest -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PY_ENV) pytest benchmarks/ --benchmark-only
 
 examples:
-	for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null && echo OK; done
+	for ex in examples/*.py; do echo "== $$ex"; $(PY_ENV) python $$ex > /dev/null && echo OK; done
 
 artifacts:
-	pytest tests/ 2>&1 | tee test_output.txt
-	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+	$(PY_ENV) pytest tests/ 2>&1 | tee test_output.txt
+	$(PY_ENV) pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
 all: install test bench

@@ -5,9 +5,13 @@ from .bn import BigNum, mod_inverse
 from .kernels import WORD_BITS, WORD_MASK
 from .modexp import mod_exp, window_bits_for_exponent_size
 from .montgomery import MontgomeryContext
+from .product_tree import (
+    ExponentNode, ExponentTree, crt_split_exponent, mod_exp_int,
+)
 
 __all__ = [
     "BarrettContext", "mod_exp_barrett",
     "BigNum", "mod_inverse", "WORD_BITS", "WORD_MASK",
     "mod_exp", "window_bits_for_exponent_size", "MontgomeryContext",
+    "ExponentNode", "ExponentTree", "crt_split_exponent", "mod_exp_int",
 ]

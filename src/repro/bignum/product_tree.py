@@ -1,0 +1,128 @@
+"""Product/remainder-tree kernels for batch RSA (Fiat; Shacham-Boneh).
+
+Batch RSA amortizes one full-width private exponentiation across ``b``
+ciphertexts encrypted under the *same modulus* but *distinct, pairwise
+coprime* small public exponents.  The algorithm percolates values up and
+down a binary tree whose leaves are the batch members; every internal node
+carries the product of the public exponents beneath it.  This module holds
+the arithmetic scaffolding shared by :mod:`repro.crypto.batch_rsa`:
+
+* :class:`ExponentTree` -- the binary product tree over the small public
+  exponents (the node products are plain machine integers: even a batch of
+  eight primes up to 23 multiplies out to ~27 bits);
+* :func:`crt_split_exponent` -- the per-node CRT exponent ``X`` with
+  ``X = 0 (mod E_L)`` and ``X = 1 (mod E_R)`` used by the downward
+  percolation to split a product of plaintexts;
+* :func:`mod_exp_int` -- modular exponentiation by a small machine-integer
+  exponent, the workhorse of both percolation phases (every charge flows
+  through the genuine :func:`repro.bignum.modexp.mod_exp` kernels).
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import List, Optional, Sequence
+
+from ..perf import charge, mix
+from .bn import BigNum
+from .modexp import mod_exp
+from .montgomery import MontgomeryContext
+
+#: Per-node bookkeeping of the batch trees (pointer chasing, small-integer
+#: products, CRT on machine words) -- trivial next to the modular work.
+TREE_NODE = mix(movl=24, addl=6, cmpl=8, jnz=8, pushl=4, popl=4, call=2,
+                ret=2)
+
+
+class ExponentNode:
+    """One node of the exponent product tree."""
+
+    __slots__ = ("product", "left", "right", "index")
+
+    def __init__(self, product: int, left: Optional["ExponentNode"] = None,
+                 right: Optional["ExponentNode"] = None,
+                 index: Optional[int] = None):
+        self.product = product
+        self.left = left
+        self.right = right
+        self.index = index  # leaf position in the batch, None for inner nodes
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def leaves(self) -> List["ExponentNode"]:
+        if self.is_leaf:
+            return [self]
+        return self.left.leaves() + self.right.leaves()
+
+
+class ExponentTree:
+    """Binary product tree over a batch's small public exponents.
+
+    The leaf order is the batch order; each internal node's ``product`` is
+    the product of the exponents below it, so ``root.product`` is the batch
+    public exponent ``E = prod e_i``.
+    """
+
+    def __init__(self, exponents: Sequence[int]):
+        if not exponents:
+            raise ValueError("exponent tree needs at least one exponent")
+        for e in exponents:
+            if e < 3 or e % 2 == 0:
+                raise ValueError(f"batch exponents must be odd and >= 3: {e}")
+        for i, a in enumerate(exponents):
+            for b in exponents[i + 1:]:
+                if gcd(a, b) != 1:
+                    raise ValueError(
+                        f"batch exponents must be pairwise coprime: {a}, {b}")
+        self.exponents = list(exponents)
+        leaves = [ExponentNode(e, index=i) for i, e in enumerate(exponents)]
+        charge(TREE_NODE, times=max(1, 2 * len(leaves) - 1),
+               function="batch_tree_build")
+        self.root = self._build(leaves)
+
+    @staticmethod
+    def _build(nodes: List[ExponentNode]) -> ExponentNode:
+        while len(nodes) > 1:
+            paired: List[ExponentNode] = []
+            for i in range(0, len(nodes) - 1, 2):
+                left, right = nodes[i], nodes[i + 1]
+                paired.append(ExponentNode(left.product * right.product,
+                                           left, right))
+            if len(nodes) % 2:
+                paired.append(nodes[-1])
+            nodes = paired
+        return nodes[0]
+
+    def __len__(self) -> int:
+        return len(self.exponents)
+
+
+def crt_split_exponent(e_left: int, e_right: int) -> int:
+    """The smallest ``X > 0`` with ``X = 0 (mod e_left)``, ``X = 1 (mod
+    e_right)``.
+
+    This is the exponent the downward percolation raises a node's plaintext
+    product to in order to isolate the right subtree's share; both moduli
+    are small machine integers, so the CRT runs on native words.
+    """
+    if gcd(e_left, e_right) != 1:
+        raise ValueError("CRT split needs coprime exponents")
+    charge(TREE_NODE, function="batch_tree_crt")
+    # X = e_left * (e_left^-1 mod e_right); X < e_left * e_right.
+    inv = pow(e_left, -1, e_right)
+    return e_left * inv
+
+
+def mod_exp_int(base: BigNum, exponent: int, modulus: BigNum,
+                mont: Optional[MontgomeryContext] = None) -> BigNum:
+    """``base ** exponent mod modulus`` for a small non-negative machine
+    integer exponent (the percolation steps of batch RSA)."""
+    if exponent < 0:
+        raise ValueError("mod_exp_int requires a non-negative exponent")
+    if exponent == 0:
+        return BigNum.one().mod(modulus)
+    if exponent == 1:
+        return base.mod(modulus)
+    return mod_exp(base, BigNum.from_int(exponent), modulus, mont)

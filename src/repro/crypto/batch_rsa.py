@@ -1,0 +1,298 @@
+"""Batch RSA decryption (Fiat's batch RSA as applied to SSL by
+Shacham-Boneh and Pateriya et al., arXiv:0907.4994).
+
+The paper's Tables 2-3 show the RSA private-key decryption of the
+ClientKeyExchange dominating handshake cost.  Batch RSA amortizes that
+cost: a server holding ``b`` private keys that share one modulus ``n`` but
+use distinct, pairwise coprime small public exponents (e.g. e=3 and e=5)
+can decrypt ``b`` concurrent ciphertexts with *one* full-width private
+exponentiation plus cheap small-exponent work:
+
+1. **Upward percolation** over a binary product tree: each inner node with
+   children carrying exponent products ``E_L, E_R`` and values ``V_L, V_R``
+   computes ``V = V_L^{E_R} * V_R^{E_L} mod n``; the root then holds
+   ``V = (prod m_i)^E`` with ``E = prod e_i``.
+2. **Batched private op**: ``I = V^{E^{-1} mod phi(n)} = prod m_i mod n`` --
+   the one expensive exponentiation, executed through the ordinary
+   :class:`~repro.crypto.rsa.RsaPrivateKey` machinery so CRT and
+   Brumley-Boneh blinding are reused unchanged.
+3. **Downward percolation**: at each inner node the plaintext product ``I``
+   splits via the CRT exponent ``X`` (``X = 0 mod E_L``, ``X = 1 mod E_R``):
+   ``I_R = I^X / (V_L^{X/E_L} * V_R^{(X-1)/E_R})`` and ``I_L = I / I_R``.
+   The leaves then hold the individual plaintext blocks ``m_i``.
+
+Sharing a modulus between exponents is safe here because one party -- the
+server -- knows all the private keys (the usual common-modulus attack needs
+mutually distrusting key holders).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import perf
+from ..bignum import (
+    BigNum, ExponentNode, ExponentTree, MontgomeryContext,
+    crt_split_exponent, mod_exp_int, mod_inverse,
+)
+from . import pkcs1
+from .primes import generate_prime
+from .rand import PseudoRandom
+from .rsa import RsaError, RsaPrivateKey
+
+#: The default public-exponent schedule: the first odd primes.  Distinct
+#: primes are automatically pairwise coprime, and all stay tiny (a batch of
+#: eight multiplies out to a 27-bit batch exponent).
+DEFAULT_EXPONENTS = (3, 5, 7, 11, 13, 17, 19, 23)
+
+
+class BatchRsaError(RsaError):
+    """Structural misuse of the batch decryptor (not a padding failure)."""
+
+
+class BatchRsaKeySet:
+    """A family of RSA private keys sharing one modulus.
+
+    Member ``i`` is an ordinary :class:`RsaPrivateKey` with public exponent
+    ``e_i``; the set validates that all members share ``(n, p, q)`` and
+    that the exponents are distinct, odd and pairwise coprime (checked by
+    the :class:`~repro.bignum.product_tree.ExponentTree` it builds).
+    """
+
+    def __init__(self, members: Sequence[RsaPrivateKey]):
+        if not members:
+            raise BatchRsaError("key set needs at least one member")
+        first = members[0]
+        for key in members[1:]:
+            if key.n != first.n or key.p != first.p or key.q != first.q:
+                raise BatchRsaError("members must share the modulus")
+        exponents = [key.e.to_int() for key in members]
+        if len(set(exponents)) != len(exponents):
+            raise BatchRsaError("member public exponents must be distinct")
+        ExponentTree(exponents)  # validates odd + pairwise coprime
+        self.members = tuple(members)
+        self.exponents = tuple(exponents)
+        self.n = first.n
+        self.size = first.size
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def member(self, index: int) -> RsaPrivateKey:
+        return self.members[index]
+
+    def index_for(self, key: RsaPrivateKey) -> int:
+        """Batch slot of ``key`` (matched by identity, then by exponent)."""
+        for i, member in enumerate(self.members):
+            if member is key:
+                return i
+        e = key.e.to_int()
+        for i, member in enumerate(self.members):
+            if self.exponents[i] == e and member.n == key.n:
+                return i
+        raise BatchRsaError("key is not a member of this batch key set")
+
+
+def generate_batch_keys(bits: int, count: int,
+                        exponents: Optional[Sequence[int]] = None,
+                        rng: Optional[PseudoRandom] = None,
+                        use_crt: bool = True) -> BatchRsaKeySet:
+    """Generate ``count`` same-modulus keys with small distinct exponents.
+
+    One prime pair serves every member; ``phi`` must be coprime to the
+    *product* of the exponent schedule so each member's private exponent
+    exists.
+    """
+    if exponents is None:
+        exponents = DEFAULT_EXPONENTS[:count]
+    if len(exponents) < count:
+        raise BatchRsaError("not enough exponents for the requested count")
+    exponents = tuple(exponents[:count])
+    ExponentTree(exponents)  # validate before the expensive prime search
+    if bits < 64 or bits % 2:
+        raise BatchRsaError("key size must be an even number of bits >= 64")
+    if rng is None:
+        rng = PseudoRandom(b"batch-rsa-keygen")
+    e_all = 1
+    for e in exponents:
+        e_all *= e
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(half, rng)
+        if p == q:
+            continue
+        if p < q:
+            p, q = q, p
+        phi = (p - 1) * (q - 1)
+        if any(phi % e == 0 for e in exponents):
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        members = []
+        for e in exponents:
+            d = pow(e, -1, phi)
+            members.append(RsaPrivateKey(
+                n=BigNum.from_int(n), e=BigNum.from_int(e),
+                d=BigNum.from_int(d), p=BigNum.from_int(p),
+                q=BigNum.from_int(q),
+                dmp1=BigNum.from_int(d % (p - 1)),
+                dmq1=BigNum.from_int(d % (q - 1)),
+                iqmp=BigNum.from_int(pow(q, -1, p)),
+                use_crt=use_crt, rng=rng))
+        return BatchRsaKeySet(members)
+
+
+class BatchRsaDecryptor:
+    """Shacham-Boneh batch decryption over a :class:`BatchRsaKeySet`.
+
+    ``blinding`` applies the standard Brumley-Boneh countermeasure to the
+    batched exponentiation (inherited from the synthesized batch
+    :class:`RsaPrivateKey`, so the blinding-pair squaring schedule matches
+    the unbatched path).
+    """
+
+    def __init__(self, keyset: BatchRsaKeySet, blinding: bool = True):
+        self.keyset = keyset
+        self.blinding = blinding
+        self._mont_n: Optional[MontgomeryContext] = None
+        #: One synthesized private key per distinct sub-batch exponent
+        #: product (partial batches use a subset of the exponents).
+        self._batch_keys: Dict[Tuple[int, bool], RsaPrivateKey] = {}
+
+    # -- helpers --------------------------------------------------------------
+    def _ctx_n(self) -> MontgomeryContext:
+        if self._mont_n is None:
+            self._mont_n = MontgomeryContext(self.keyset.n)
+        return self._mont_n
+
+    def _mod_mul(self, a: BigNum, b: BigNum) -> BigNum:
+        return a.mul(b).mod(self.keyset.n)
+
+    def _batch_key(self, e_product: int) -> RsaPrivateKey:
+        """The synthesized key for exponent ``E = prod e_i`` of a batch.
+
+        ``d = E^{-1} mod phi(n)`` with the usual CRT halves; ``use_crt``
+        follows the member keys (the simulator toggles it there).
+        """
+        proto = self.keyset.members[0]
+        use_crt = proto.use_crt
+        cache_key = (e_product, use_crt)
+        key = self._batch_keys.get(cache_key)
+        if key is None:
+            p, q = proto.p.to_int(), proto.q.to_int()
+            phi = (p - 1) * (q - 1)
+            d = pow(e_product, -1, phi)
+            key = RsaPrivateKey(
+                n=proto.n, e=BigNum.from_int(e_product),
+                d=BigNum.from_int(d), p=proto.p, q=proto.q,
+                dmp1=BigNum.from_int(d % (p - 1)),
+                dmq1=BigNum.from_int(d % (q - 1)),
+                iqmp=proto.iqmp, use_crt=use_crt,
+                blinding=self.blinding)
+            self._batch_keys[cache_key] = key
+        return key
+
+    # -- percolation phases --------------------------------------------------
+    def _percolate_up(self, node: ExponentNode,
+                      ciphertexts: Dict[int, BigNum],
+                      values: Dict[int, BigNum]) -> BigNum:
+        """Fill ``values[id(node)] = V_node``; returns the node's value."""
+        if node.is_leaf:
+            v = ciphertexts[node.index]
+        else:
+            mont = self._ctx_n()
+            vl = self._percolate_up(node.left, ciphertexts, values)
+            vr = self._percolate_up(node.right, ciphertexts, values)
+            v = self._mod_mul(
+                mod_exp_int(vl, node.right.product, self.keyset.n, mont),
+                mod_exp_int(vr, node.left.product, self.keyset.n, mont))
+        values[id(node)] = v
+        return v
+
+    def _percolate_down(self, node: ExponentNode, product: BigNum,
+                        values: Dict[int, BigNum],
+                        out: Dict[int, BigNum]) -> None:
+        """Split ``product = prod m_i`` over ``node``'s leaves into ``out``."""
+        if node.is_leaf:
+            out[node.index] = product
+            return
+        n = self.keyset.n
+        mont = self._ctx_n()
+        el, er = node.left.product, node.right.product
+        x = crt_split_exponent(el, er)
+        denom = self._mod_mul(
+            mod_exp_int(values[id(node.left)], x // el, n, mont),
+            mod_exp_int(values[id(node.right)], (x - 1) // er, n, mont))
+        i_right = self._mod_mul(mod_exp_int(product, x, n, mont),
+                                mod_inverse(denom, n))
+        i_left = self._mod_mul(product, mod_inverse(i_right, n))
+        self._percolate_down(node.left, i_left, values, out)
+        self._percolate_down(node.right, i_right, values, out)
+
+    # -- public API ------------------------------------------------------------
+    def raw_batch(self, items: Sequence[Tuple[int, BigNum]]) -> List[BigNum]:
+        """Batched ``c_i^{d_i} mod n`` for ``(member_index, ciphertext)``
+        pairs with distinct member indices; results follow input order.
+
+        Equivalent to ``[keyset.member(i).raw_private(c) for i, c in
+        items]`` at the cost of roughly one private exponentiation total.
+        """
+        if not items:
+            return []
+        indices = [i for i, _ in items]
+        if len(set(indices)) != len(indices):
+            raise BatchRsaError("batch members must have distinct indices")
+        n = self.keyset.n
+        for i, c in items:
+            if not 0 <= i < len(self.keyset):
+                raise BatchRsaError(f"no batch member with index {i}")
+            if n.ucmp(c) <= 0:
+                raise RsaError("input not reduced modulo n")
+
+        if len(items) == 1:
+            # A batch of one is the ordinary private operation.
+            index, c = items[0]
+            return [self.keyset.member(index).raw_private(c)]
+
+        with perf.region("rsa_batch_decryption"):
+            tree = ExponentTree([self.keyset.exponents[i] for i in indices])
+            ciphertexts = {pos: c for pos, (_, c) in enumerate(items)}
+            values: Dict[int, BigNum] = {}
+            with perf.region("percolate_up"):
+                root_v = self._percolate_up(tree.root, ciphertexts, values)
+            # The single full-width exponentiation, with CRT + blinding
+            # exactly as rsa.py performs them.
+            with perf.region("computation"):
+                root_m = self._batch_key(tree.root.product).raw_private(
+                    root_v)
+            out: Dict[int, BigNum] = {}
+            with perf.region("percolate_down"):
+                self._percolate_down(tree.root, root_m, values, out)
+            return [out[pos] for pos in range(len(items))]
+
+    def decrypt_batch(self, items: Sequence[Tuple[int, bytes]],
+                      ) -> List[Optional[bytes]]:
+        """Batched PKCS #1 v1.5 decryption.
+
+        Returns one entry per input: the recovered message, or ``None``
+        when that member's block fails PKCS #1 validation.  Per-item
+        failures deliberately do not raise -- batch callers (the handshake
+        queue) must treat them uniformly to avoid a Bleichenbacher oracle.
+        """
+        size = self.keyset.size
+        converted: List[Tuple[int, BigNum]] = []
+        for index, ciphertext in items:
+            if len(ciphertext) != size:
+                raise RsaError("ciphertext length mismatch")
+            converted.append((index, BigNum.from_bytes(ciphertext)))
+        blocks = self.raw_batch(converted)
+        out: List[Optional[bytes]] = []
+        for m in blocks:
+            block = m.to_bytes(size)
+            try:
+                out.append(pkcs1.unpad_decrypt(block, size))
+            except pkcs1.Pkcs1Error:
+                out.append(None)
+        return out

@@ -14,7 +14,8 @@ manages application data once the handshake completes.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from .. import perf
 from ..crypto.md5 import MD5
@@ -165,17 +166,11 @@ class SslConnection:
         return out
 
     # -- incoming -------------------------------------------------------------
-    def receive(self, data: bytes) -> None:
-        """Feed wire bytes from the peer through the state machine."""
-        if self.closed:
-            raise SslError("connection is closed")
-        self.stats.bytes_received += len(data)
+    @contextmanager
+    def _alert_guard(self) -> Iterator[None]:
+        """Map record-processing failures to alerts + teardown."""
         try:
-            for content_type, body in self._records.feed_raw(data):
-                self.stats.records_received += 1
-                with perf.region(self._region_for_record(content_type)):
-                    payload = self._records.open_record(content_type, body)
-                    self._dispatch(content_type, payload)
+            yield
         except AlertError as exc:
             self._send_alert(exc.level, exc.description)
             self.closed = True
@@ -187,6 +182,42 @@ class SslConnection:
                              AlertDescription.ILLEGAL_PARAMETER)
             self.closed = True
             raise
+
+    def receive(self, data: bytes) -> None:
+        """Feed wire bytes from the peer through the state machine."""
+        if self.closed:
+            raise SslError("connection is closed")
+        self.stats.bytes_received += len(data)
+        with self._alert_guard():
+            for content_type, body in self._records.feed_raw(data):
+                self.stats.records_received += 1
+                if self._defer_record(content_type, body):
+                    continue
+                self._process_record(content_type, body)
+        self._after_receive()
+
+    def _process_record(self, content_type: int, body: bytes) -> None:
+        """Open and dispatch one raw record inside its step region."""
+        with perf.region(self._region_for_record(content_type)):
+            payload = self._records.open_record(content_type, body)
+            self._dispatch(content_type, payload)
+
+    def _defer_record(self, content_type: int, body: bytes) -> bool:
+        """Hook: hold a raw record for later processing (server batching).
+
+        Returning True makes :meth:`receive` skip the record; the subclass
+        owns replaying it (still undecrypted -- the read state may change
+        before it is opened).
+        """
+        return False
+
+    def _after_receive(self) -> None:
+        """Hook: work deferred until after record dispatch.
+
+        Runs outside every record's step region so that cross-connection
+        work (the server's batch flush resumes *other* handshakes) is not
+        mis-attributed to the step that happened to trigger it.
+        """
 
     def _dispatch(self, content_type: int, payload: bytes) -> None:
         if content_type == ContentType.V2_CLIENT_HELLO:

@@ -120,8 +120,25 @@ class ConnectionState:
 
     # -- incoming ------------------------------------------------------------
     def open(self, content_type: int, body: bytes) -> bytes:
-        """Decrypt, strip padding, verify MAC; returns the plaintext."""
+        """Decrypt, strip padding, verify MAC; returns the plaintext.
+
+        All post-decryption failures (bad padding, short record, MAC
+        mismatch) are deliberately uniform: the MAC is computed over a
+        best-effort fragment even when the padding is malformed, and every
+        path raises the same :class:`BadRecordMac`.  Failing fast on bad
+        padding -- before the MAC -- would hand a MAC-then-encrypt padding
+        oracle (Vaudenay) to an attacker timing the two error paths.  The
+        sequence number likewise advances exactly once per record, success
+        or failure, so a rejected record cannot desynchronize the state.
+        """
+        try:
+            return self._open_checked(content_type, body)
+        finally:
+            self.seq_num += 1
+
+    def _open_checked(self, content_type: int, body: bytes) -> bytes:
         cipher = self.cipher
+        padding_ok = True
         if cipher is None:
             plain = body
         else:
@@ -131,27 +148,31 @@ class ConnectionState:
                 else:
                     bs = cipher.block_size
                     if not body or len(body) % bs:
+                        # Structural: visible from the wire length alone,
+                        # so rejecting before any crypto reveals nothing.
                         raise BadRecordMac(
                             "ciphertext not a whole number of blocks")
                     plain = cipher.decrypt(body)
                     pad_len = plain[-1]
                     if pad_len + 1 > len(plain) or (
                             self.version == SSL3_VERSION and pad_len >= bs):
-                        raise BadRecordMac("bad padding length")
-                    if self.version != SSL3_VERSION:
+                        padding_ok = False
+                        pad_len = 0
+                    elif self.version != SSL3_VERSION and any(
+                            b != pad_len for b in plain[-(pad_len + 1):]):
                         # TLS: all padding bytes must equal pad_len.
-                        if any(b != pad_len for b in
-                               plain[-(pad_len + 1):]):
-                            raise BadRecordMac("inconsistent TLS padding")
+                        padding_ok = False
+                        pad_len = 0
                     plain = plain[:-(pad_len + 1)]
         mac_size = self.suite.mac_size
         if len(plain) < mac_size:
-            raise BadRecordMac("record shorter than MAC")
-        fragment, mac = plain[:-mac_size], plain[-mac_size:]
+            padding_ok = False
+            fragment, mac = plain, b""
+        else:
+            fragment, mac = plain[:-mac_size], plain[-mac_size:]
         with perf.region("mac"):
             expected = self._mac(content_type, fragment)
-        self.seq_num += 1
-        if not ct_equal(mac, expected):
+        if not ct_equal(mac, expected) or not padding_ok:
             raise BadRecordMac()
         return fragment
 

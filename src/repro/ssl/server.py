@@ -28,9 +28,10 @@ delimited them.
 from __future__ import annotations
 
 import enum
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import perf
+from ..crypto.batch_rsa import BatchRsaDecryptor, BatchRsaKeySet
 from ..crypto.rand import PseudoRandom
 from ..crypto.rsa import RsaError, RsaPrivateKey
 from . import kdf
@@ -103,6 +104,108 @@ def _charge_split(m, function: str) -> None:
     charge(m.scaled(0.78), function=function + "@libc", module="other")
 
 
+class HandshakeBatcher:
+    """Batches concurrent ClientKeyExchange decryptions across servers.
+
+    Servers sharing a :class:`~repro.crypto.batch_rsa.BatchRsaKeySet`
+    submit their RSA pre-master ciphertexts here instead of decrypting
+    inline; once one ciphertext per distinct member key is queued (or a
+    virtual-time timeout fires) the queue is drained through one
+    Shacham-Boneh batched private operation and every suspended handshake
+    is resumed from its continuation.  Time is virtual: the driving loop
+    (the web-server simulator's transaction interleaver) calls
+    :meth:`tick` once per scheduling round.
+    """
+
+    def __init__(self, keyset: BatchRsaKeySet,
+                 batch_size: Optional[int] = None,
+                 timeout_ticks: int = 8,
+                 blinding: bool = True):
+        self.keyset = keyset
+        self.decryptor = BatchRsaDecryptor(keyset, blinding=blinding)
+        self.batch_size = min(batch_size or len(keyset), len(keyset))
+        if self.batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        self.timeout_ticks = timeout_ticks
+        self._queue: List[Tuple[int, bytes, Callable[[Optional[bytes]],
+                                                     None]]] = []
+        self._now = 0
+        self._deadline: Optional[int] = None
+        #: Batch-size histogram: {size: count of flushed sub-batches}.
+        self.batches: Dict[int, int] = {}
+        self.ops_submitted = 0
+
+    # -- queue state ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def _ready(self) -> bool:
+        """A full batch is formable: ``batch_size`` distinct member keys."""
+        return len({i for i, _, _ in self._queue}) >= self.batch_size
+
+    # -- submission / clocking ------------------------------------------------
+    def submit(self, key: RsaPrivateKey, ciphertext: bytes,
+               resume: Callable[[Optional[bytes]], None]) -> None:
+        """Queue one decryption; ``resume`` is called with the recovered
+        pre-master block (or ``None`` on padding failure) at flush time."""
+        index = self.keyset.index_for(key)
+        if len(ciphertext) != self.keyset.size:
+            # Structurally unbatchable; resolve immediately and uniformly
+            # (the caller substitutes a random pre-master, so the failure
+            # still surfaces only at Finished).
+            resume(None)
+            return
+        self._queue.append((index, ciphertext, resume))
+        self.ops_submitted += 1
+        if self._deadline is None:
+            self._deadline = self._now + self.timeout_ticks
+
+    @property
+    def ready(self) -> bool:
+        """A full batch is waiting.  Submission never flushes inline --
+        the submitting server is still inside its ClientKeyExchange step
+        region, and a flush resumes *other* connections whose work must
+        not be attributed there.  Drivers (``SslServer._after_receive``,
+        the simulator loop) flush once dispatch has unwound."""
+        return self._ready()
+
+    def tick(self, ticks: int = 1) -> None:
+        """Advance virtual time; flush any batch past its deadline."""
+        self._now += ticks
+        if self._deadline is not None and self._now >= self._deadline:
+            self.flush()
+
+    # -- the batched private operation ---------------------------------------
+    def flush(self) -> None:
+        """Drain the queue through batched private ops and resume everyone.
+
+        Entries sharing a member key cannot share a batch (the algorithm
+        needs pairwise coprime exponents), so the queue is drained in
+        greedy rounds of distinct members.
+        """
+        self._deadline = None
+        while self._queue:
+            sub: List[Tuple[int, bytes, Callable]] = []
+            taken = set()
+            rest = []
+            for entry in self._queue:
+                if entry[0] in taken or len(sub) >= self.batch_size:
+                    rest.append(entry)
+                else:
+                    taken.add(entry[0])
+                    sub.append(entry)
+            self._queue = rest
+            self.batches[len(sub)] = self.batches.get(len(sub), 0) + 1
+            # The decrypt itself lands in the Table 2 step region the
+            # paper charges it to; each resumed handshake then opens its
+            # own get_client_kx region for the non-RSA remainder.
+            with perf.region("get_client_kx"):
+                results = self.decryptor.decrypt_batch(
+                    [(i, c) for i, c, _ in sub])
+            for (_, _, resume), pre_master in zip(sub, results):
+                resume(pre_master)
+
+
 class ServerHandshakeState(enum.Enum):
     WAIT_CLIENT_HELLO = enum.auto()
     WAIT_CLIENT_KX = enum.auto()
@@ -122,9 +225,13 @@ class SslServer(SslConnection):
                  rng: Optional[PseudoRandom] = None,
                  max_version: int = 0x0301,
                  cert_chain: Sequence[Certificate] = (),
-                 allow_renegotiation: bool = True):
+                 allow_renegotiation: bool = True,
+                 batcher: Optional[HandshakeBatcher] = None):
         """``cert_chain``: intermediate/root certificates sent after the
-        leaf (the paper's server used a single self-signed certificate)."""
+        leaf (the paper's server used a single self-signed certificate).
+        ``batcher``: a shared :class:`HandshakeBatcher`; when set, the RSA
+        ClientKeyExchange decrypt is deferred into its queue and the
+        handshake suspends until the batch flushes."""
         with perf.region("init"):
             super().__init__()
             self._key = private_key
@@ -142,6 +249,9 @@ class SslServer(SslConnection):
             self._pre_master: Optional[bytes] = None
             self._dh_keypair: Optional[DhKeyPair] = None
             self._allow_renegotiation = allow_renegotiation
+            self._batcher = batcher
+            self._kx_waiting = False
+            self._held_records: List[tuple] = []
             self.renegotiations = 0
             self._client_states = None
             self._server_states = None
@@ -322,8 +432,21 @@ class SslServer(SslConnection):
         _charge_split(CLIENT_KX_PROC, "ssl3_get_client_key_exchange")
         if self.cipher_suite.key_exchange == "DHE_RSA":
             pre_master = self._process_client_kx_dhe(raw_body)
+        elif self._batcher is not None:
+            # Defer the RSA decrypt into the shared batch queue.  The
+            # handshake suspends here: records already in flight (the
+            # client's CCS + Finished travel in the same flight) are held
+            # raw until the batch flushes and _resume_client_kx runs.
+            kx = ClientKeyExchange.parse_versioned(raw_body, self.is_tls)
+            self._kx_waiting = True
+            self._batcher.submit(self._key, kx.encrypted_pre_master,
+                                 self._resume_client_kx)
+            return
         else:
             pre_master = self._process_client_kx_rsa(raw_body)
+        self._finish_client_kx(pre_master)
+
+    def _finish_client_kx(self, pre_master: bytes) -> None:
         with perf.region("gen_master_secret"):
             self.master_secret = self._derive_master_secret(pre_master)
         # OpenSSL digests the cached handshake records here in case a
@@ -337,15 +460,55 @@ class SslServer(SslConnection):
         kx = ClientKeyExchange.parse_versioned(raw_body, self.is_tls)
         try:
             pre_master = self._key.decrypt(kx.encrypted_pre_master)
-        except (RsaError, ValueError) as exc:
-            raise HandshakeFailure(f"pre-master decryption failed: {exc}")
-        if len(pre_master) != PRE_MASTER_LENGTH:
-            raise HandshakeFailure("pre-master secret has wrong length")
-        # The pre-master's first two bytes carry the client's *offered*
-        # version (a rollback-attack defence).
-        if pre_master[:2] != self._client_version.to_bytes(2, "big"):
-            raise HandshakeFailure("pre-master version mismatch")
-        return pre_master
+        except (RsaError, ValueError):
+            pre_master = None
+        return self._vet_pre_master(pre_master)
+
+    def _vet_pre_master(self, pre_master: Optional[bytes]) -> bytes:
+        """Bleichenbacher countermeasure (RFC 2246 section 7.4.7.1 style).
+
+        Any failure -- undecryptable ciphertext, bad PKCS #1 padding, wrong
+        pre-master length, or a client-version rollback mismatch -- is
+        absorbed by substituting a random 48-byte pre-master.  The
+        handshake then proceeds and fails uniformly at the Finished
+        exchange, so an attacker probing with chosen ciphertexts sees one
+        indistinguishable outcome instead of a million-message oracle.
+        """
+        ok = (pre_master is not None
+              and len(pre_master) == PRE_MASTER_LENGTH
+              # The pre-master's first two bytes carry the client's
+              # *offered* version (a rollback-attack defence).
+              and pre_master[:2] == self._client_version.to_bytes(2, "big"))
+        if ok:
+            return pre_master
+        with perf.region("rand_pseudo_bytes"):
+            return self._rng.bytes(PRE_MASTER_LENGTH)
+
+    # -- batched-kx suspension/resumption -----------------------------------
+    def _defer_record(self, content_type: int, body: bytes) -> bool:
+        if self._kx_waiting:
+            self._held_records.append((content_type, body))
+            return True
+        return False
+
+    def _after_receive(self) -> None:
+        # Flush a full batch outside any record-dispatch region: the flush
+        # resumes every suspended handshake in the batch (including other
+        # servers'), and that work belongs to their own step regions.
+        if self._batcher is not None and self._batcher.ready:
+            self._batcher.flush()
+
+    def _resume_client_kx(self, pre_master: Optional[bytes]) -> None:
+        """Continuation invoked by the batcher with the decrypted block."""
+        self._kx_waiting = False
+        with perf.region("get_client_kx"):
+            self._finish_client_kx(self._vet_pre_master(pre_master))
+        held, self._held_records = self._held_records, []
+        with self._alert_guard():
+            for content_type, body in held:
+                self._process_record(content_type, body)
+        while self._pending:
+            self._pending.pop(0)()
 
     def _process_client_kx_dhe(self, raw_body: bytes) -> bytes:
         from ..crypto.dh import DhError
@@ -468,6 +631,8 @@ class SslServer(SslConnection):
         self.renegotiations += 1
         self.handshake_complete = False
         self.resumed = False
+        self._kx_waiting = False
+        self._held_records = []
         self._dh_keypair = None
         self._client_states = None
         self._server_states = None

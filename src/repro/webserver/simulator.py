@@ -13,19 +13,22 @@ Regenerates the data behind Table 1 (module breakdown) and Figure 2
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .. import perf
+from ..crypto.batch_rsa import BatchRsaKeySet
 from ..crypto.rand import PseudoRandom
 from ..crypto.rsa import RsaPrivateKey
 from ..perf.categories import crypto_breakdown
 from ..ssl.ciphersuites import CipherSuite, DEFAULT_SUITE
 from ..ssl.client import SslClient
+from ..ssl.errors import SslError
 from ..ssl.loopback import make_server_identity, pump
-from ..ssl.server import SslServer
+from ..ssl.server import HandshakeBatcher, SslServer
 from ..ssl.session import SessionCache, SslSession
-from ..ssl.x509 import Certificate
+from ..ssl.x509 import Certificate, make_self_signed
 from .costs import DEFAULT_COSTS, SystemCostModel
 from .httpd import ApacheWorker, build_request, parse_response
 from .workload import Request, RequestWorkload
@@ -40,6 +43,11 @@ class SimulationResult:
     bytes_served: int = 0
     resumed_handshakes: int = 0
     failures: int = 0
+    #: Batch-size histogram from the handshake batcher ({size: flushes});
+    #: empty when batching is off.
+    batches: Dict[int, int] = field(default_factory=dict)
+    #: RSA key-exchange decrypts that went through the batch queue.
+    batched_ops: int = 0
 
     def module_shares(self) -> Dict[str, float]:
         """Module -> share of total cycles (Table 1)."""
@@ -79,6 +87,137 @@ class SimulationResult:
                 "system": max(0.0, total - handshake - bulk)}
 
 
+class _Transaction:
+    """One interleavable HTTPS transaction (connection + its requests).
+
+    The sequential :meth:`WebServerSimulator._run_connection` drives a
+    connection to completion before starting the next, so no two handshakes
+    are ever in flight together and a batch queue could never fill.  This
+    class splits the same work into :meth:`step` increments -- one
+    client/server byte exchange or one HTTP request per call -- letting the
+    simulator hold many transactions open at once, exactly the concurrency
+    batch RSA needs.
+    """
+
+    HANDSHAKE, REQUESTS, CLOSING, DONE = range(4)
+
+    def __init__(self, sim: "WebServerSimulator", txn_id: int,
+                 requests: List[Request], server_prof: perf.Profiler,
+                 result: SimulationResult):
+        self._sim = sim
+        self._requests = deque(requests)
+        self._nrequests = len(requests)
+        self._server_prof = server_prof
+        self._result = result
+        self._client_prof = perf.Profiler()  # client machine: discarded
+        self.phase = _Transaction.HANDSHAKE
+        tag = str(txn_id).encode()
+
+        total_kb = sum(r.size_bytes for r in requests) / 1024.0
+        with perf.activate(server_prof):
+            perf.charge_cycles(sim._costs.kernel_cycles(total_kb),
+                               function="tcp_stack", module=perf.VMLINUX)
+            perf.charge_cycles(sim._costs.other_cycles(total_kb),
+                               function="libc_misc", module=perf.OTHER)
+
+        resume = None
+        if requests[0].resumable and sim._client_sessions:
+            resume = sim._client_sessions[-1]
+
+        key, cert = sim._next_server_identity()
+        with perf.activate(server_prof):
+            self.server = SslServer(
+                key, cert, suites=(sim._suite,),
+                session_cache=sim._session_cache,
+                rng=PseudoRandom(sim._seed + b"-s" + tag),
+                batcher=sim._batcher)
+        with perf.activate(self._client_prof):
+            self.client = SslClient(suites=(sim._suite,), session=resume,
+                                    version=sim._version,
+                                    rng=PseudoRandom(sim._seed + b"-c" + tag))
+            self.client.start_handshake()
+
+    @property
+    def done(self) -> bool:
+        return self.phase == _Transaction.DONE
+
+    def _fail(self) -> None:
+        self._result.failures += len(self._requests) or self._nrequests
+        self.phase = _Transaction.DONE
+
+    def step(self) -> bool:
+        """Advance one increment; returns True if any progress was made."""
+        try:
+            if self.phase == _Transaction.HANDSHAKE:
+                return self._step_handshake()
+            if self.phase == _Transaction.REQUESTS:
+                return self._step_request()
+            if self.phase == _Transaction.CLOSING:
+                return self._step_close()
+        except SslError:
+            self._fail()
+            return True
+        return False
+
+    def _exchange(self) -> bool:
+        """Relay pending bytes both ways once (one flight each)."""
+        with perf.activate(self._client_prof):
+            c_out = self.client.pending_output()
+        with perf.activate(self._server_prof):
+            s_out = self.server.pending_output()
+            if c_out:
+                self.server.receive(c_out)
+        with perf.activate(self._client_prof):
+            if s_out:
+                self.client.receive(s_out)
+        return bool(c_out or s_out)
+
+    def _step_handshake(self) -> bool:
+        progressed = self._exchange()
+        if self.server.handshake_complete and self.client.handshake_complete:
+            self.phase = _Transaction.REQUESTS
+            if self.server.resumed:
+                self._result.resumed_handshakes += 1
+            return True
+        return progressed
+
+    def _step_request(self) -> bool:
+        if not self._requests:
+            self.phase = _Transaction.CLOSING
+            return True
+        request = self._requests.popleft()
+        with perf.activate(self._client_prof):
+            self.client.write(build_request(request.path))
+            wire = self.client.pending_output()
+        with perf.activate(self._server_prof):
+            self.server.receive(wire)
+            worker = ApacheWorker(self._sim._costs, request.size_bytes)
+            response = worker.handle(self.server.read())
+            self.server.write(response)
+            wire = self.server.pending_output()
+        with perf.activate(self._client_prof):
+            self.client.receive(wire)
+            status, body = parse_response(self.client.read())
+        if status.startswith("HTTP/1.1 200"):
+            self._result.requests_completed += 1
+            self._result.bytes_served += len(body)
+        else:
+            self._result.failures += 1
+        return True
+
+    def _step_close(self) -> bool:
+        with perf.activate(self._client_prof):
+            self.client.close()
+            wire = self.client.pending_output()
+        with perf.activate(self._server_prof):
+            self.server.receive(wire)
+            self.server.close()
+        if self.client.session is not None:
+            self._sim._client_sessions.append(self.client.session)
+        self.phase = _Transaction.DONE
+        return True
+
+
 class WebServerSimulator:
     """Drives HTTPS transactions through the full stack."""
 
@@ -88,12 +227,18 @@ class WebServerSimulator:
                  costs: SystemCostModel = DEFAULT_COSTS,
                  use_crt: bool = False,
                  version: int = 0x0300,
-                 seed: bytes = b"webserver"):
+                 seed: bytes = b"webserver",
+                 key_set: Optional[BatchRsaKeySet] = None,
+                 batch_size: Optional[int] = None,
+                 batch_timeout: int = 8):
         """``use_crt`` defaults to False: the paper's handshake
         measurements (Tables 1-3) are consistent with a non-CRT private
         operation; see DESIGN.md.  ``version`` is the protocol the
         simulated curl client offers (SSLv3, the paper's setup, or TLS
-        1.0)."""
+        1.0).  ``key_set`` switches the server to batch RSA: connections
+        are assigned member keys round-robin and their ClientKeyExchange
+        decrypts amortize through one shared
+        :class:`~repro.ssl.server.HandshakeBatcher`."""
         if key is None or cert is None:
             key, cert = make_server_identity(1024, seed=seed + b"-identity")
         key.use_crt = use_crt
@@ -105,6 +250,17 @@ class WebServerSimulator:
         self._seed = seed
         self._session_cache = SessionCache()
         self._client_sessions: List[SslSession] = []
+        self._batcher: Optional[HandshakeBatcher] = None
+        self._identities: List[tuple] = [(key, cert)]
+        if key_set is not None:
+            for member in key_set.members:
+                member.use_crt = use_crt
+            self._batcher = HandshakeBatcher(key_set, batch_size=batch_size,
+                                             timeout_ticks=batch_timeout)
+            self._identities = [
+                (member, make_self_signed(f"CN=repro-batch-{i}", member))
+                for i, member in enumerate(key_set.members)]
+        self._next_identity = 0
 
     # -- one connection (one or more requests) ----------------------------------
     def _run_connection(self, requests: List[Request],
@@ -171,29 +327,94 @@ class WebServerSimulator:
         if client.session is not None:
             self._client_sessions.append(client.session)
 
+    def _next_server_identity(self) -> tuple:
+        """Round-robin (key, cert) assignment across batch members."""
+        identity = self._identities[self._next_identity
+                                    % len(self._identities)]
+        self._next_identity += 1
+        return identity
+
     # -- the experiment ------------------------------------------------------------
     def run(self, workload: RequestWorkload, nrequests: int,
-            requests_per_connection: int = 1) -> SimulationResult:
+            requests_per_connection: int = 1,
+            concurrency: int = 1) -> SimulationResult:
         """Process ``nrequests`` transactions; returns server-side results.
 
         ``requests_per_connection > 1`` enables HTTP keep-alive: the
         paper's per-request full handshake (Table 1) corresponds to 1;
         long B2B-style sessions amortize the handshake across many
-        requests.
+        requests.  ``concurrency > 1`` keeps that many transactions in
+        flight simultaneously (required for batch RSA: handshakes must
+        overlap for the batch queue to fill).
         """
         if requests_per_connection < 1:
             raise ValueError("requests_per_connection must be >= 1")
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
         server_prof = perf.Profiler()
         result = SimulationResult(profiler=server_prof)
+        groups: List[List[Request]] = []
         batch: List[Request] = []
         for request in workload.requests(nrequests):
             batch.append(request)
             if len(batch) == requests_per_connection:
-                self._run_connection(batch, server_prof, result)
+                groups.append(batch)
                 batch = []
         if batch:
-            self._run_connection(batch, server_prof, result)
+            groups.append(batch)
+        if concurrency > 1 or self._batcher is not None:
+            self._run_concurrent(groups, server_prof, result, concurrency)
+        else:
+            for group in groups:
+                self._run_connection(group, server_prof, result)
+        if self._batcher is not None:
+            result.batches = dict(self._batcher.batches)
+            result.batched_ops = self._batcher.ops_submitted
         return result
+
+    def _run_concurrent(self, groups: List[List[Request]],
+                        server_prof: perf.Profiler,
+                        result: SimulationResult,
+                        concurrency: int) -> None:
+        """Interleave up to ``concurrency`` transactions round-robin.
+
+        Each scheduling round advances every active transaction one step
+        and then ticks the batcher's virtual clock; a round in which
+        nothing at all progressed means every active handshake is parked
+        in the batch queue, so the queue is flushed (partial batch) rather
+        than deadlocking.
+        """
+        pending = deque(groups)
+        active: List[_Transaction] = []
+        txn_id = 0
+        stalled = 0
+        while pending or active:
+            while pending and len(active) < concurrency:
+                active.append(_Transaction(self, txn_id, pending.popleft(),
+                                           server_prof, result))
+                txn_id += 1
+            progressed = False
+            for txn in list(active):
+                if txn.step():
+                    progressed = True
+                if txn.done:
+                    active.remove(txn)
+            if self._batcher is not None:
+                with perf.activate(server_prof):
+                    self._batcher.tick()
+                    if not progressed and len(self._batcher):
+                        self._batcher.flush()
+                        progressed = True
+            if progressed:
+                stalled = 0
+                continue
+            stalled += 1
+            if stalled > 4:
+                # Nothing is moving and nothing is queued: give up on the
+                # stragglers instead of spinning forever.
+                for txn in active:
+                    txn._fail()
+                active.clear()
 
 
 def run_experiment(file_size_bytes: int, nrequests: int = 3, *,

@@ -1,0 +1,251 @@
+"""Regression tests for the record-layer padding oracle, the sequence
+number desynchronization, and the key-exchange Bleichenbacher oracle.
+
+Each test pins the *fixed* behaviour and fails against the pre-fix code:
+the old record layer raised before MACing when padding was malformed (a
+Vaudenay timing oracle) and only advanced ``seq_num`` on success; the old
+server raised a distinguishable handshake failure straight from
+``_process_client_kx_rsa`` (a Bleichenbacher million-message oracle).
+"""
+
+import pytest
+
+from repro import perf
+from repro.crypto.mac import ssl3_mac
+from repro.crypto.rand import PseudoRandom
+from repro.ssl import kdf
+from repro.ssl.client import SslClient
+from repro.ssl.errors import AlertError, BadRecordMac
+from repro.ssl.handshake import ClientKeyExchange
+from repro.ssl.record import (
+    ConnectionState, ContentType, KeyMaterial, RecordLayer, SSL3_VERSION,
+    TLS1_VERSION,
+)
+from repro.ssl.ciphersuites import DES_CBC3_SHA
+from repro.ssl.server import ServerHandshakeState, SslServer
+
+SUITE = DES_CBC3_SHA  # block cipher + SHA-1: the paper's suite
+BS = SUITE.block_size
+MAC_SIZE = SUITE.mac_size
+
+
+def make_pair(version=SSL3_VERSION, seed=b"oracle-test"):
+    """(tx, rx, material, forge) -- forge is an attacker-style cipher
+    sharing the connection key/IV, for crafting raw ciphertexts."""
+    need = SUITE.key_material_length() // 2
+    block = kdf.derive(bytes(48), seed.ljust(32, b"\0"), bytes(32),
+                       SUITE.key_material_length())
+    material = KeyMaterial(
+        mac_secret=block[:SUITE.mac_key_len],
+        key=block[SUITE.mac_key_len:SUITE.mac_key_len + SUITE.key_len],
+        iv=block[need - SUITE.iv_len:need],
+    )
+    tx = ConnectionState(SUITE, material, version=version)
+    rx = ConnectionState(SUITE, KeyMaterial(material.mac_secret,
+                                            material.key, material.iv),
+                         version=version)
+    forge = SUITE.new_cipher(material.key, material.iv)
+    return tx, rx, material, forge
+
+
+def bad_pad_body(forge, junk=b"J" * 31, pad_byte=200):
+    """A 32-byte record whose final (padding-length) byte is absurd."""
+    assert (len(junk) + 1) % BS == 0
+    return forge.encrypt(junk + bytes([pad_byte]))
+
+
+def bad_mac_body(forge):
+    """A well-padded 32-byte record carrying a garbage MAC."""
+    plain = b"J" * 11 + b"M" * MAC_SIZE + bytes([0])  # pad_len 0: valid
+    return forge.encrypt(plain)
+
+
+class TestPaddingOracleFix:
+    def test_bad_padding_still_pays_for_the_mac(self, isolated_profiler):
+        """The countermeasure: MAC over a best-effort fragment even when
+        the padding is garbage.  Pre-fix code raised before the ``mac``
+        region, leaving it uncharged."""
+        _, rx, _, forge = make_pair()
+        with pytest.raises(BadRecordMac):
+            rx.open(ContentType.APPLICATION_DATA, bad_pad_body(forge))
+        assert isolated_profiler.region_cycles("mac") > 0
+        assert isolated_profiler.region_cycles("pri_decryption") > 0
+
+    def test_bad_padding_and_bad_mac_are_indistinguishable(self):
+        """Same exception type, same message, same cycle count: no oracle
+        separates a padding failure from a MAC failure."""
+        _, rx1, _, forge1 = make_pair()
+        pad_prof = perf.Profiler()
+        with perf.activate(pad_prof), pytest.raises(BadRecordMac) as pad_exc:
+            rx1.open(ContentType.APPLICATION_DATA, bad_pad_body(forge1))
+        _, rx2, _, forge2 = make_pair()
+        mac_prof = perf.Profiler()
+        with perf.activate(mac_prof), pytest.raises(BadRecordMac) as mac_exc:
+            rx2.open(ContentType.APPLICATION_DATA, bad_mac_body(forge2))
+        assert str(pad_exc.value) == str(mac_exc.value)
+        assert pad_prof.total_cycles() == mac_prof.total_cycles()
+
+    def test_pad_length_exceeding_record_is_uniform(self):
+        _, rx, _, forge = make_pair()
+        body = forge.encrypt(b"x" * 15 + bytes([255]))
+        with pytest.raises(BadRecordMac) as exc:
+            rx.open(ContentType.APPLICATION_DATA, body)
+        assert str(exc.value) == str(BadRecordMac())
+
+    def test_record_shorter_than_mac_is_uniform(self, isolated_profiler):
+        """Stripping padding below mac_size must not skip the MAC stage."""
+        _, rx, _, forge = make_pair()
+        body = forge.encrypt(b"s" * 7 + bytes([7]))  # strips to nothing
+        with pytest.raises(BadRecordMac) as exc:
+            rx.open(ContentType.APPLICATION_DATA, body)
+        assert str(exc.value) == str(BadRecordMac())
+        assert isolated_profiler.region_cycles("mac") > 0
+
+    def test_tls_inconsistent_padding_bytes_uniform(self):
+        """TLS 1.0 checks every padding byte; inconsistency must fail the
+        same way as a MAC mismatch, MAC still computed."""
+        _, rx, _, forge = make_pair(version=TLS1_VERSION)
+        # Final byte claims pad_len 5, but the padding bytes are junk.
+        body = forge.encrypt(b"j" * 26 + b"\x01\x02\x03\x04\x05\x05")
+        prof = perf.Profiler()
+        with perf.activate(prof), pytest.raises(BadRecordMac) as exc:
+            rx.open(ContentType.APPLICATION_DATA, body)
+        assert str(exc.value) == str(BadRecordMac())
+        assert prof.region_cycles("mac") > 0
+
+
+class TestSequenceNumberFix:
+    def test_seq_num_advances_exactly_once_on_failure(self):
+        _, rx, _, forge = make_pair()
+        assert rx.seq_num == 0
+        with pytest.raises(BadRecordMac):
+            rx.open(ContentType.APPLICATION_DATA, bad_pad_body(forge))
+        assert rx.seq_num == 1
+
+    def test_good_record_opens_after_rejected_record(self):
+        """A rejected record consumes one sequence number, so the next
+        honest record (MACed under seq 1) must verify.  Pre-fix, the
+        receiver stayed at seq 0 and rejected everything after."""
+        _, rx, material, forge = make_pair()
+        first = bad_pad_body(forge)
+        fragment = b"after-failure"
+        mac = ssl3_mac(SUITE.hash_factory(), material.mac_secret, 1,
+                       ContentType.APPLICATION_DATA, fragment)
+        plain = fragment + mac
+        pad_len = BS - (len(plain) + 1) % BS
+        plain += bytes(pad_len) + bytes([pad_len])
+        second = forge.encrypt(plain)
+        with pytest.raises(BadRecordMac):
+            rx.open(ContentType.APPLICATION_DATA, first)
+        assert rx.open(ContentType.APPLICATION_DATA, second) == fragment
+        assert rx.seq_num == 2
+
+    def test_seq_num_advances_on_success(self):
+        tx, rx, _, _ = make_pair()
+        for i in range(3):
+            body = tx.seal(ContentType.APPLICATION_DATA, b"n%d" % i)
+            assert rx.open(ContentType.APPLICATION_DATA, body) == b"n%d" % i
+        assert rx.seq_num == 3
+
+
+def split_records(wire):
+    out = []
+    i = 0
+    while i < len(wire):
+        length = int.from_bytes(wire[i + 3:i + 5], "big")
+        out.append(wire[i:i + 5 + length])
+        i += 5 + length
+    return out
+
+
+def server_awaiting_kx(identity512, seed=b"bb"):
+    """A server driven to WAIT_CLIENT_KX, plus the client's real flight."""
+    key, cert = identity512
+    server = SslServer(key, cert, suites=(SUITE,),
+                       rng=PseudoRandom(seed + b"-s"))
+    client = SslClient(suites=(SUITE,), rng=PseudoRandom(seed + b"-c"))
+    client.start_handshake()
+    server.receive(client.pending_output())
+    client.receive(server.pending_output())
+    flight = split_records(client.pending_output())
+    assert server._state is ServerHandshakeState.WAIT_CLIENT_KX
+    return server, flight
+
+
+def kx_record(ciphertext):
+    msg = ClientKeyExchange(encrypted_pre_master=ciphertext)
+    return RecordLayer().emit(ContentType.HANDSHAKE, msg.to_bytes())
+
+
+class TestBleichenbacherFix:
+    def craft_cases(self, key):
+        pub = key.public()
+        rng = PseudoRandom(b"craft")
+        return {
+            # Valid length, junk value: PKCS#1 unpadding fails.
+            "undecryptable": bytes([1]) + rng.bytes(key.size - 1),
+            # Decrypts fine but the pre-master is 47 bytes, not 48.
+            "short_pre_master": pub.encrypt(
+                b"\x03\x00" + rng.bytes(45), rng),
+            # 48 bytes but the rollback-defence version bytes are wrong.
+            "version_rollback": pub.encrypt(
+                b"\x03\x63" + rng.bytes(46), rng),
+            # Not even one modulus worth of ciphertext.
+            "wrong_length": rng.bytes(10),
+        }
+
+    @pytest.mark.parametrize("case", ["undecryptable", "short_pre_master",
+                                      "version_rollback", "wrong_length"])
+    def test_bad_kx_never_fails_at_kx_time(self, identity512, case):
+        """Every malformed key exchange is silently absorbed: a random
+        pre-master is substituted and the handshake marches on to the
+        Finished check.  Pre-fix code raised handshake_failure right here,
+        which is exactly the single-bit oracle Bleichenbacher needs."""
+        key, _ = identity512
+        server, _ = server_awaiting_kx(identity512, seed=case.encode())
+        server.receive(kx_record(self.craft_cases(key)[case]))
+        assert server._state is ServerHandshakeState.WAIT_FINISHED
+        assert server.master_secret is not None
+        assert not server.handshake_complete
+
+    def test_honest_kx_still_accepted(self, identity512):
+        server, flight = server_awaiting_kx(identity512, seed=b"honest")
+        server.receive(flight[0])
+        assert server._state is ServerHandshakeState.WAIT_FINISHED
+        for record in flight[1:]:
+            server.receive(record)
+        assert server.handshake_complete
+
+    def test_tampered_kx_fails_only_at_finished(self, identity512):
+        """End to end: flip ciphertext bits inside a real client flight.
+        The kx record itself is accepted; the failure surfaces later, at
+        the Finished record, as a generic record-MAC alert that names
+        nothing about pre-master processing."""
+        server, flight = server_awaiting_kx(identity512, seed=b"tamper")
+        kx = bytearray(flight[0])
+        kx[12] ^= 0xFF
+        server.receive(bytes(kx))  # absorbed, no alert
+        assert server._state is ServerHandshakeState.WAIT_FINISHED
+        with pytest.raises(AlertError) as exc:
+            server.receive(b"".join(flight[1:]))  # CCS + Finished
+        message = str(exc.value).lower()
+        assert "pre-master" not in message and "pkcs" not in message
+        assert isinstance(exc.value, BadRecordMac)
+
+    def test_failure_paths_cost_alike(self, identity512):
+        """The random-substitution path must not be measurably cheaper
+        than a successful decrypt: both pay the full private operation."""
+        key, _ = identity512
+        cases = self.craft_cases(key)
+        profs = {}
+        for case in ("undecryptable", "version_rollback"):
+            server, _ = server_awaiting_kx(identity512,
+                                           seed=b"cost-" + case.encode())
+            prof = perf.Profiler()
+            with perf.activate(prof):
+                server.receive(kx_record(cases[case]))
+            profs[case] = prof.region_cycles("get_client_kx")
+        assert profs["undecryptable"] > 0
+        # Both include the full RSA private op; within a few percent.
+        ratio = profs["undecryptable"] / profs["version_rollback"]
+        assert 0.9 < ratio < 1.1
