@@ -28,6 +28,7 @@ mutually distrusting key holders).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import perf
@@ -125,7 +126,10 @@ def generate_batch_keys(bits: int, count: int,
         if p < q:
             p, q = q, p
         phi = (p - 1) * (q - 1)
-        if any(phi % e == 0 for e in exponents):
+        # gcd, not divisibility: a composite exponent (e.g. 9) can share
+        # a factor with phi without dividing it, and then d would not
+        # exist.
+        if math.gcd(e_all, phi) != 1:
             continue
         n = p * q
         if n.bit_length() != bits:

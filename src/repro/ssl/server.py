@@ -37,7 +37,7 @@ from ..crypto.rsa import RsaError, RsaPrivateKey
 from . import kdf
 from .ciphersuites import ALL_SUITES, BY_ID, CipherSuite, lookup
 from .connection import SSL_CLEANUP, SslConnection
-from .errors import HandshakeFailure, UnexpectedMessage
+from .errors import HandshakeFailure, SslError, UnexpectedMessage
 from ..bignum import BigNum
 from ..crypto.dh import DhKeyPair, DhParams
 from ..crypto.md5 import MD5
@@ -203,7 +203,16 @@ class HandshakeBatcher:
                 results = self.decryptor.decrypt_batch(
                     [(i, c) for i, c, _ in sub])
             for (_, _, resume), pre_master in zip(sub, results):
-                resume(pre_master)
+                try:
+                    resume(pre_master)
+                except SslError:
+                    # One handshake failing (e.g. at Finished, which is
+                    # exactly where the Bleichenbacher countermeasure
+                    # steers bad ciphertexts) must not strand the rest
+                    # of the batch: the failed connection has already
+                    # sent its alert and torn down inside its own
+                    # _alert_guard.
+                    pass
 
 
 class ServerHandshakeState(enum.Enum):
@@ -474,15 +483,17 @@ class SslServer(SslConnection):
         exchange, so an attacker probing with chosen ciphertexts sees one
         indistinguishable outcome instead of a million-message oracle.
         """
+        # The substitute is drawn unconditionally, before any check, so
+        # success and failure execute identical code (RFC 5246 7.4.7.1:
+        # generate the random pre-master first, then select).
+        with perf.region("rand_pseudo_bytes"):
+            substitute = self._rng.bytes(PRE_MASTER_LENGTH)
         ok = (pre_master is not None
               and len(pre_master) == PRE_MASTER_LENGTH
               # The pre-master's first two bytes carry the client's
               # *offered* version (a rollback-attack defence).
               and pre_master[:2] == self._client_version.to_bytes(2, "big"))
-        if ok:
-            return pre_master
-        with perf.region("rand_pseudo_bytes"):
-            return self._rng.bytes(PRE_MASTER_LENGTH)
+        return pre_master if ok else substitute
 
     # -- batched-kx suspension/resumption -----------------------------------
     def _defer_record(self, content_type: int, body: bytes) -> bool:
@@ -500,6 +511,12 @@ class SslServer(SslConnection):
 
     def _resume_client_kx(self, pre_master: Optional[bytes]) -> None:
         """Continuation invoked by the batcher with the decrypted block."""
+        if self.closed or not self._kx_waiting:
+            # Stale continuation: the connection was closed or its
+            # handshake reset (renegotiation) while parked in the batch
+            # queue; the queued entry still fires at the next flush but
+            # must not touch the new state.
+            return
         self._kx_waiting = False
         with perf.region("get_client_kx"):
             self._finish_client_kx(self._vet_pre_master(pre_master))

@@ -142,7 +142,11 @@ class _Transaction:
         return self.phase == _Transaction.DONE
 
     def _fail(self) -> None:
-        self._result.failures += len(self._requests) or self._nrequests
+        # Only requests not yet individually accounted for become
+        # failures; requests stay queued until their response is parsed,
+        # and a transaction dying in CLOSING has already counted every
+        # request as completed or failed.
+        self._result.failures += len(self._requests)
         self.phase = _Transaction.DONE
 
     def step(self) -> bool:
@@ -185,7 +189,7 @@ class _Transaction:
         if not self._requests:
             self.phase = _Transaction.CLOSING
             return True
-        request = self._requests.popleft()
+        request = self._requests[0]
         with perf.activate(self._client_prof):
             self.client.write(build_request(request.path))
             wire = self.client.pending_output()
@@ -198,6 +202,7 @@ class _Transaction:
         with perf.activate(self._client_prof):
             self.client.receive(wire)
             status, body = parse_response(self.client.read())
+        self._requests.popleft()
         if status.startswith("HTTP/1.1 200"):
             self._result.requests_completed += 1
             self._result.bytes_served += len(body)

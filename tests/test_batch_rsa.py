@@ -14,6 +14,7 @@ from repro.crypto.rand import PseudoRandom
 from repro.crypto.rsa import RsaError, generate_key
 from repro.ssl.ciphersuites import DES_CBC3_SHA
 from repro.ssl.client import SslClient
+from repro.ssl.errors import HandshakeFailure
 from repro.ssl.loopback import pump
 from repro.ssl.server import HandshakeBatcher, SslServer
 from repro.ssl.x509 import make_self_signed
@@ -117,6 +118,19 @@ class TestBatchKeySet:
     def test_rejects_duplicate_exponents(self, batch_keys4):
         with pytest.raises(BatchRsaError):
             BatchRsaKeySet([batch_keys4.member(0), batch_keys4.member(0)])
+
+    def test_generate_accepts_composite_coprime_exponents(self):
+        """The prime search validates gcd(e, phi), not divisibility: a
+        composite exponent like 9 can share its factor 3 with phi while
+        9 does not divide phi, and the old check then crashed on the
+        modular inverse instead of retrying."""
+        ks = generate_batch_keys(128, 2, exponents=(5, 9),
+                                 rng=PseudoRandom(b"composite-e0"))
+        assert ks.exponents == (5, 9)
+        rng = PseudoRandom(b"composite-rt")
+        for member in ks.members:
+            ct = member.public().encrypt(b"msg", rng)
+            assert member.decrypt(ct) == b"msg"
 
     def test_generate_rejects_bad_sizes(self):
         with pytest.raises(BatchRsaError):
@@ -274,6 +288,25 @@ class TestHandshakeBatcher:
         assert sorted(pm for _, pm in results) == [b"x", b"y"]
         assert batcher.batches == {1: 2}
 
+    def test_flush_isolates_resume_failures(self, batch_keys4):
+        """A continuation that raises (a handshake dying at Finished)
+        must not abort the flush loop and strand the rest of the batch."""
+        ks = batch_keys4
+        batcher = HandshakeBatcher(ks, batch_size=3)
+        results = []
+
+        def explode(pm):
+            results.append((0, "raised"))
+            raise HandshakeFailure("client finished hash mismatch")
+
+        batcher.submit(ks.member(0), encrypt_for(ks, 0, b"bad", seed=b"q"),
+                       explode)
+        self._submit(batcher, ks, 1, results, b"ok-1")
+        self._submit(batcher, ks, 2, results, b"ok-2")
+        batcher.flush()
+        assert len(batcher) == 0
+        assert results == [(0, "raised"), (1, b"ok-1"), (2, b"ok-2")]
+
     def test_wrong_size_ciphertext_resolves_immediately(self, batch_keys4):
         ks = batch_keys4
         batcher = HandshakeBatcher(ks, batch_size=2)
@@ -316,6 +349,53 @@ class TestBatchedHandshake:
         assert s1.handshake_complete and c1.handshake_complete
         assert s2.handshake_complete and c2.handshake_complete
         assert batcher.batches == {2: 1}
+
+    def test_failed_handshake_does_not_poison_batch(self, batch_keys4):
+        """One garbled ClientKeyExchange in a batch fails *only its own*
+        handshake.  The Bleichenbacher countermeasure steers the bad
+        ciphertext to a Finished-time failure inside the flush; pre-fix,
+        that exception aborted the resume loop mid-iteration, stranding
+        every later batch member and propagating into the unrelated
+        connection whose receive() triggered the flush."""
+        ks = batch_keys4
+        batcher = HandshakeBatcher(ks, batch_size=2)
+        prof = perf.Profiler()
+        c1, s1 = self._pair(ks, 0, batcher, b"bad")
+        c2, s2 = self._pair(ks, 1, batcher, b"good")
+        with perf.activate(prof):
+            s1.receive(c1.pending_output())
+            c1.receive(s1.pending_output())
+            flight = bytearray(c1.pending_output())  # kx + ccs + finished
+        # Flip a bit inside the RSA ciphertext (5-byte record header +
+        # 4-byte handshake header): the decrypt yields garbage, a random
+        # pre-master is substituted, and s1 must die at Finished.
+        flight[9] ^= 0xFF
+        with perf.activate(prof):
+            s1.receive(bytes(flight))
+        assert len(batcher) == 1 and not s1.handshake_complete
+        # The healthy handshake fills the batch; its receive() flushes,
+        # s1's resume fails, and s2 must still complete.
+        pump(c2, s2, prof, prof)
+        assert len(batcher) == 0
+        assert s1.closed and not s1.handshake_complete
+        assert s2.handshake_complete and c2.handshake_complete
+        assert batcher.batches == {2: 1}
+
+    def test_stale_continuation_after_close_is_ignored(self, batch_keys4):
+        """A connection closed while parked in the batch queue must not
+        be resumed against its torn-down state when the flush fires."""
+        ks = batch_keys4
+        batcher = HandshakeBatcher(ks, batch_size=2)
+        prof = perf.Profiler()
+        c1, s1 = self._pair(ks, 0, batcher, b"park")
+        c2, s2 = self._pair(ks, 1, batcher, b"fill")
+        pump(c1, s1, prof, prof)
+        assert len(batcher) == 1 and not s1.handshake_complete
+        s1.close()
+        pump(c2, s2, prof, prof)  # fills the batch and flushes
+        assert len(batcher) == 0
+        assert not s1.handshake_complete  # stale resume returned early
+        assert s2.handshake_complete and c2.handshake_complete
 
     def test_resumed_connection_carries_data(self, batch_keys4):
         ks = batch_keys4

@@ -232,6 +232,28 @@ class TestBleichenbacherFix:
         assert "pre-master" not in message and "pkcs" not in message
         assert isinstance(exc.value, BadRecordMac)
 
+    def test_success_draws_the_same_randomness_as_failure(self, identity512):
+        """The substitute pre-master is generated unconditionally (RFC
+        5246 7.4.7.1), so an accepted ClientKeyExchange spends exactly as
+        many rand_pseudo_bytes cycles as a rejected one.  Pre-fix, only
+        the failure path drew the 48 random bytes -- a residual timing
+        signal in the very code the countermeasure makes uniform."""
+        key, _ = identity512
+        server, flight = server_awaiting_kx(identity512, seed=b"uni-ok")
+        ok_prof = perf.Profiler()
+        with perf.activate(ok_prof):
+            server.receive(flight[0])
+        assert server._state is ServerHandshakeState.WAIT_FINISHED
+        bad = self.craft_cases(key)["undecryptable"]
+        server2, _ = server_awaiting_kx(identity512, seed=b"uni-bad")
+        bad_prof = perf.Profiler()
+        with perf.activate(bad_prof):
+            server2.receive(kx_record(bad))
+        path = "get_client_kx/rand_pseudo_bytes"
+        ok_rand = ok_prof.region_cycles(path)
+        assert ok_rand > 0
+        assert ok_rand == bad_prof.region_cycles(path)
+
     def test_failure_paths_cost_alike(self, identity512):
         """The random-substitution path must not be measurably cheaper
         than a successful decrypt: both pay the full private operation."""

@@ -168,6 +168,37 @@ class TestSimulation:
         assert resumed.cycles_per_request() < full.cycles_per_request()
 
 
+class TestTransactionAccounting:
+    def _bare_transaction(self, nrequests):
+        from collections import deque
+        from repro.webserver.simulator import SimulationResult, _Transaction
+        txn = _Transaction.__new__(_Transaction)
+        txn._requests = deque(range(nrequests))
+        txn._nrequests = nrequests
+        txn._result = SimulationResult(profiler=perf.Profiler())
+        return txn
+
+    def test_fail_counts_remaining_requests(self):
+        from repro.webserver.simulator import _Transaction
+        txn = self._bare_transaction(3)
+        txn.phase = _Transaction.HANDSHAKE
+        txn._fail()
+        assert txn._result.failures == 3
+        assert txn.done
+
+    def test_fail_in_closing_counts_nothing(self):
+        """Every request was already tallied (completed or failed) by the
+        time CLOSING starts; pre-fix, `len(...) or self._nrequests`
+        double-counted all of them as failures too."""
+        from repro.webserver.simulator import _Transaction
+        txn = self._bare_transaction(3)
+        txn._requests.clear()
+        txn.phase = _Transaction.CLOSING
+        txn._fail()
+        assert txn._result.failures == 0
+        assert txn.done
+
+
 class TestKeepAlive:
     @pytest.fixture(scope="class")
     def identities(self, identity512):
