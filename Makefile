@@ -5,7 +5,7 @@
 
 PY_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test check bench examples artifacts all
+.PHONY: install test check bench bench-host examples artifacts all
 
 install:
 	pip install -e .
@@ -19,6 +19,11 @@ check:
 
 bench:
 	$(PY_ENV) pytest benchmarks/ --benchmark-only
+
+# Wall-clock host speed of the fast path vs the faithful reference loops;
+# writes BENCH_host_speed.json at the repository root.
+bench-host:
+	$(PY_ENV) python benchmarks/bench_host_speed.py
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PY_ENV) python $$ex > /dev/null && echo OK; done

@@ -1,11 +1,15 @@
 """Multi-precision unsigned integers over 32-bit word arrays (``BIGNUM``).
 
 This is the arithmetic substrate of the RSA implementation.  Values are
-little-endian lists of 32-bit words, and the heavy operations (multiply,
-square, add, subtract) really execute the word loops of
-:mod:`repro.bignum.kernels`, charging the corresponding OpenSSL kernel names
+little-endian lists of 32-bit words; the heavy operations (multiply,
+square, add, subtract) charge the corresponding OpenSSL kernel names
 (``bn_mul_add_words`` etc.) into the active profiler so that Table 8's flat
-profile is produced by genuine execution.
+profile is produced by execution.  The host arithmetic itself has two
+backends selected by :mod:`repro.runtime`: the faithful per-word loops of
+:mod:`repro.bignum.kernels`, and a native-int fast path that packs the word
+array into a Python int, performs the whole-operand operation once, and
+unpacks the result -- the charges are computed from operand word counts
+either way, so modeled cycles are bit-identical between backends.
 
 Division and modular inverse are the two places where we compute via Python
 integers and charge a *modelled* cost instead: they are off the hot path
@@ -20,6 +24,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..perf import charge, mix
+from ..runtime import fastpath_enabled
 from . import kernels as K
 from .kernels import WORD_BITS, WORD_MASK
 
@@ -143,14 +148,18 @@ class BigNum:
         a, b = self.d, other.d
         if len(a) < len(b):
             a, b = b, a
-        n = len(b)
-        r = [0] * (len(a) + 1)
-        carry = K.add_words(r, a, b, n)
-        for i in range(n, len(a)):
-            t = a[i] + carry
-            r[i] = t & WORD_MASK
-            carry = t >> WORD_BITS
-        r[len(a)] = carry
+        if fastpath_enabled():
+            r = K.words_from_int(
+                K.int_from_words(a) + K.int_from_words(b), len(a) + 1)
+        else:
+            n = len(b)
+            r = [0] * (len(a) + 1)
+            carry = K.add_words(r, a, b, n)
+            for i in range(n, len(a)):
+                t = a[i] + carry
+                r[i] = t & WORD_MASK
+                carry = t >> WORD_BITS
+            r[len(a)] = carry
         charge(K.ADD_WORD, times=len(a), function="bn_add_words")
         charge(WRAPPER_CALL, function="BN_uadd")
         return BigNum(r)
@@ -161,10 +170,14 @@ class BigNum:
             raise ValueError("BN_usub: would be negative")
         a, b = self.d, other.d
         n = len(a)
-        bb = b + [0] * (n - len(b))
-        r = [0] * n
-        borrow = K.sub_words(r, a, bb, n)
-        assert borrow == 0
+        if fastpath_enabled():
+            r = K.words_from_int(
+                K.int_from_words(a) - K.int_from_words(b), n)
+        else:
+            bb = b + [0] * (n - len(b))
+            r = [0] * n
+            borrow = K.sub_words(r, a, bb, n)
+            assert borrow == 0
         charge(K.SUB_WORD, times=n, function="bn_sub_words")
         charge(WRAPPER_CALL, function="BN_usub")
         return BigNum(r)
@@ -175,10 +188,14 @@ class BigNum:
         if not a or not b:
             return BigNum()
         na, nb = len(a), len(b)
-        r = [0] * (na + nb)
-        r[na] = K.mul_words(r, 0, a, 0, na, b[0])
-        for j in range(1, nb):
-            r[j + na] = K.mul_add_words(r, j, a, 0, na, b[j])
+        if fastpath_enabled():
+            r = K.words_from_int(
+                K.int_from_words(a) * K.int_from_words(b), na + nb)
+        else:
+            r = [0] * (na + nb)
+            r[na] = K.mul_words(r, 0, a, 0, na, b[0])
+            for j in range(1, nb):
+                r[j + na] = K.mul_add_words(r, j, a, 0, na, b[j])
         charge(K.MUL_WORD, times=na, function="bn_mul_words", stall=K.BN_STALL)
         if nb > 1:
             charge(K.MULADD_WORD, times=na * (nb - 1),
@@ -200,24 +217,28 @@ class BigNum:
         n = len(a)
         if not n:
             return BigNum()
-        r = [0] * (2 * n)
-        # Cross terms: r[2i+1 ...] += a[i] * a[i+1 .. n-1].
-        for i in range(n - 1):
-            c = K.mul_add_words(r, 2 * i + 1, a, i + 1, n - 1 - i, a[i])
-            K.propagate_carry(r, i + n, c)
-        # Double the cross terms (one shift-through-carry pass).
-        carry = 0
-        for i in range(2 * n):
-            t = (r[i] << 1) | carry
-            r[i] = t & WORD_MASK
-            carry = t >> WORD_BITS
-        # Add the diagonal a[i]^2 terms.
-        for i in range(n):
-            t = a[i] * a[i] + r[2 * i]
-            r[2 * i] = t & WORD_MASK
-            c = (t >> WORD_BITS) + r[2 * i + 1]
-            r[2 * i + 1] = c & WORD_MASK
-            K.propagate_carry(r, 2 * i + 2, c >> WORD_BITS)
+        if fastpath_enabled():
+            v = K.int_from_words(a)
+            r = K.words_from_int(v * v, 2 * n)
+        else:
+            r = [0] * (2 * n)
+            # Cross terms: r[2i+1 ...] += a[i] * a[i+1 .. n-1].
+            for i in range(n - 1):
+                c = K.mul_add_words(r, 2 * i + 1, a, i + 1, n - 1 - i, a[i])
+                K.propagate_carry(r, i + n, c)
+            # Double the cross terms (one shift-through-carry pass).
+            carry = 0
+            for i in range(2 * n):
+                t = (r[i] << 1) | carry
+                r[i] = t & WORD_MASK
+                carry = t >> WORD_BITS
+            # Add the diagonal a[i]^2 terms.
+            for i in range(n):
+                t = a[i] * a[i] + r[2 * i]
+                r[2 * i] = t & WORD_MASK
+                c = (t >> WORD_BITS) + r[2 * i + 1]
+                r[2 * i + 1] = c & WORD_MASK
+                K.propagate_carry(r, 2 * i + 2, c >> WORD_BITS)
         cross = n * (n - 1) // 2
         if cross:
             charge(K.MULADD_WORD, times=cross, function="bn_mul_add_words",

@@ -15,6 +15,7 @@ without a per-word accounting penalty.
 
 from __future__ import annotations
 
+import struct
 from typing import List
 
 from ..perf import mix
@@ -128,13 +129,22 @@ def propagate_carry(r: List[int], start: int, carry: int) -> int:
 
 
 def words_from_int(value: int, nwords: int | None = None) -> List[int]:
-    """Little-endian 32-bit words of ``value`` (padded to ``nwords`` if given)."""
+    """Little-endian 32-bit words of ``value`` (padded to ``nwords`` if given).
+
+    Packs through ``int.to_bytes`` + ``struct`` rather than a shift loop:
+    this conversion is pure (uncharged) bookkeeping at the fast/faithful
+    backend boundary, so it always takes the quick route.
+    """
     if value < 0:
         raise ValueError("bignum words are unsigned")
-    out: List[int] = []
-    while value:
-        out.append(value & WORD_MASK)
-        value >>= WORD_BITS
+    if value:
+        count = (value.bit_length() + WORD_BITS - 1) // WORD_BITS
+        out = list(struct.unpack(f"<{count}I",
+                                 value.to_bytes(4 * count, "little")))
+        while out and out[-1] == 0:  # cannot happen, but mirror the contract
+            out.pop()
+    else:
+        out = []
     if nwords is not None:
         if len(out) > nwords:
             raise ValueError("value does not fit in requested word count")
@@ -143,7 +153,13 @@ def words_from_int(value: int, nwords: int | None = None) -> List[int]:
 
 
 def int_from_words(words: List[int]) -> int:
-    value = 0
-    for w in reversed(words):
-        value = (value << WORD_BITS) | w
-    return value
+    try:
+        return int.from_bytes(
+            struct.pack(f"<{len(words)}I", *words), "little")
+    except struct.error:
+        # Out-of-range entries (callers probing invariants): the reference
+        # shift/OR accumulation accepts any ints.
+        value = 0
+        for w in reversed(words):
+            value = (value << WORD_BITS) | w
+        return value

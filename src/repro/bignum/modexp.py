@@ -9,7 +9,9 @@ square-and-multiply scan of the exponent.
 from __future__ import annotations
 
 from ..perf import charge, mix
+from ..runtime import fastpath_enabled
 from .bn import BigNum
+from .kernels import words_from_int
 from .montgomery import MontgomeryContext
 
 #: Per-exponent-bit scan overhead in BN_mod_exp_mont (bit extraction, window
@@ -51,6 +53,9 @@ def mod_exp(base: BigNum, exponent: BigNum, modulus: BigNum,
     wsize = window_bits_for_exponent_size(bits)
     charge(EXP_BIT_SCAN, times=bits, function="BN_mod_exp_mont")
 
+    if mont.reduction == "interleaved" and fastpath_enabled():
+        return _mod_exp_int(base, exponent, mont, bits, wsize)
+
     # Precompute odd powers: table[i] = base^(2i+1) in Montgomery form.
     table = [mont.to_mont(base)]
     if wsize > 1:
@@ -84,3 +89,47 @@ def mod_exp(base: BigNum, exponent: BigNum, modulus: BigNum,
         i = j - 1
 
     return mont.from_mont(acc)
+
+
+def _mod_exp_int(base: BigNum, exponent: BigNum, mont: MontgomeryContext,
+                 bits: int, wsize: int) -> BigNum:
+    """Fast-path exponentiation loop holding intermediates as native ints.
+
+    Mirrors the window scan above statement for statement; the only change
+    is representation.  ``to_mont``/``one`` still run through the BigNum
+    entry points (once each), and the per-iteration Montgomery operations
+    use the int kernels whose charges are bit-identical to the word-array
+    path, so the modeled cost of an exponentiation is unchanged.
+    """
+    table = [mont.to_mont(base).to_int()]
+    if wsize > 1:
+        base_sq = mont.mont_sqr_int(table[0])
+        for _ in range(1, 1 << (wsize - 1)):
+            table.append(mont.mont_mul_int(table[-1], base_sq))
+
+    acc = mont.one().to_int()
+    started = False  # skip leading squarings of 1
+    i = bits - 1
+    while i >= 0:
+        if exponent.bit(i) == 0:
+            if started:
+                acc = mont.mont_sqr_int(acc)
+            i -= 1
+            continue
+        # Take the longest window [j..i] that starts and ends with a set bit.
+        j = max(i - wsize + 1, 0)
+        while exponent.bit(j) == 0:
+            j += 1
+        value = 0
+        for k in range(i, j - 1, -1):
+            value = (value << 1) | exponent.bit(k)
+        if started:
+            for _ in range(i - j + 1):
+                acc = mont.mont_sqr_int(acc)
+            acc = mont.mont_mul_int(acc, table[(value - 1) >> 1])
+        else:
+            acc = table[(value - 1) >> 1]
+            started = True
+        i = j - 1
+
+    return BigNum(words_from_int(mont._redc_int(acc), mont.nwords))

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import List
 
 from ..perf import charge, mix
+from ..runtime import fastpath_enabled
 from . import kernels as K
 from .bn import WRAPPER_CALL, BigNum
 from .kernels import WORD_BITS, WORD_MASK
@@ -70,6 +71,11 @@ class MontgomeryContext:
         self.nwords = modulus.nwords()
         self._n_padded: List[int] = list(modulus.d)
         self.n0 = (-_word_inverse(modulus.d[0])) & WORD_MASK
+        # Native-int mirrors for the fast-path REDC (uncharged bookkeeping:
+        # the modeled setup cost below is identical with or without them).
+        self._n_int = modulus.to_int()
+        self._r_mask = (1 << (self.nwords * WORD_BITS)) - 1
+        self._ni_int = (-pow(self._n_int, -1, self._r_mask + 1)) & self._r_mask
         charge(MONT_SETUP, function="BN_MONT_CTX_set")
         # RR = R^2 mod n with R = 2^(32 * nwords); via BN_div (off hot path).
         r2 = BigNum.from_int(1 << (2 * self.nwords * WORD_BITS))
@@ -94,6 +100,24 @@ class MontgomeryContext:
 
     def _reduce_interleaved(self, t: List[int]) -> BigNum:
         n = self.nwords
+        if fastpath_enabled():
+            # Whole-operand REDC: m = (t mod R) * (-n^{-1} mod R) mod R,
+            # r = (t + m*n) / R.  Word-serial CIOS computes exactly this
+            # value (standard Montgomery equivalence), so results -- and the
+            # unconditional subtract-and-select below -- are bit-identical.
+            t_int = K.int_from_words(t)
+            m = ((t_int & self._r_mask) * self._ni_int) & self._r_mask
+            r_val = (t_int + m * self._n_int) >> (n * WORD_BITS)
+            charge(K.MULADD_WORD, times=n * n, function="bn_mul_add_words",
+                   stall=K.BN_STALL)
+            charge(FROM_MONT_WORD, times=n, function="BN_from_montgomery",
+                   stall=K.BN_STALL)
+            charge(WRAPPER_CALL, function="BN_from_montgomery")
+            charge(K.SUB_WORD, times=n, function="bn_sub_words")
+            charge(K.KERNEL_CALL, function="bn_sub_words")
+            if r_val >= self._n_int:
+                r_val -= self._n_int
+            return BigNum(K.words_from_int(r_val, n))
         need = 2 * n + 1
         if len(t) < need:
             t.extend([0] * (need - len(t)))
@@ -150,14 +174,88 @@ class MontgomeryContext:
             return BigNum(diff)
         return BigNum(rp[:n])
 
+    # -- native-int fast path ---------------------------------------------------
+    # These operate on Python ints end to end: the double-width product never
+    # becomes a word array, skipping the pack/unpack round trips that
+    # ``BigNum.mul``/``BigNum.sqr`` + ``_reduce`` would perform.  Every charge
+    # is the exact sequence (mixes, times, order) the faithful word-array path
+    # emits: each one is determined by operand word counts, and for a trimmed
+    # BigNum ``len(d) == ceil(bit_length / 32)``, so computing the counts from
+    # ``int.bit_length`` keeps modeled cycles and instruction mixes
+    # bit-identical between backends.
+
+    def _redc_int(self, t: int) -> int:
+        """Whole-operand REDC; charges match ``_reduce_interleaved``."""
+        n = self.nwords
+        m = ((t & self._r_mask) * self._ni_int) & self._r_mask
+        r_val = (t + m * self._n_int) >> (n * WORD_BITS)
+        charge(K.MULADD_WORD, times=n * n, function="bn_mul_add_words",
+               stall=K.BN_STALL)
+        charge(FROM_MONT_WORD, times=n, function="BN_from_montgomery",
+               stall=K.BN_STALL)
+        charge(WRAPPER_CALL, function="BN_from_montgomery")
+        charge(K.SUB_WORD, times=n, function="bn_sub_words")
+        charge(K.KERNEL_CALL, function="bn_sub_words")
+        if r_val >= self._n_int:
+            r_val -= self._n_int
+        return r_val
+
+    def mont_mul_int(self, a_int: int, b_int: int) -> int:
+        """``a * b / R mod n`` on ints; charges match ``BigNum.mul`` + REDC."""
+        na = (a_int.bit_length() + WORD_BITS - 1) // WORD_BITS
+        nb = (b_int.bit_length() + WORD_BITS - 1) // WORD_BITS
+        if na and nb:
+            t = a_int * b_int
+            charge(K.MUL_WORD, times=na, function="bn_mul_words",
+                   stall=K.BN_STALL)
+            if nb > 1:
+                charge(K.MULADD_WORD, times=na * (nb - 1),
+                       function="bn_mul_add_words", stall=K.BN_STALL)
+            charge(K.KERNEL_CALL, times=nb, function="bn_mul_add_words")
+            charge(WRAPPER_CALL, function="BN_mul")
+        else:
+            t = 0
+        return self._redc_int(t)
+
+    def mont_sqr_int(self, a_int: int) -> int:
+        """Montgomery square on ints; charges match ``BigNum.sqr`` + REDC."""
+        na = (a_int.bit_length() + WORD_BITS - 1) // WORD_BITS
+        if na:
+            t = a_int * a_int
+            cross = na * (na - 1) // 2
+            if cross:
+                charge(K.MULADD_WORD, times=cross,
+                       function="bn_mul_add_words", stall=K.BN_STALL)
+            charge(K.ADD_WORD, times=2 * na, function="bn_add_words")
+            charge(K.MUL_WORD, times=na, function="bn_sqr_words",
+                   stall=K.BN_STALL)
+            charge(K.KERNEL_CALL, times=na, function="bn_mul_add_words")
+            charge(WRAPPER_CALL, function="BN_sqr")
+        else:
+            t = 0
+        return self._redc_int(t)
+
+    def _mont_int(self, a: BigNum, b: BigNum | None) -> BigNum:
+        """BigNum facade over the int fast path (one pack/unpack at the rim)."""
+        if b is None:
+            r_val = self.mont_sqr_int(K.int_from_words(a.d))
+        else:
+            r_val = self.mont_mul_int(K.int_from_words(a.d),
+                                      K.int_from_words(b.d))
+        return BigNum(K.words_from_int(r_val, self.nwords))
+
     # -- public operations -------------------------------------------------------
     def mul(self, a: BigNum, b: BigNum) -> BigNum:
         """``a * b / R mod n`` for Montgomery-form inputs (BN_mod_mul_montgomery)."""
+        if self.reduction == "interleaved" and fastpath_enabled():
+            return self._mont_int(a, b)
         t_bn = a.mul(b)
         return self._reduce(list(t_bn.d))
 
     def sqr(self, a: BigNum) -> BigNum:
         """Montgomery square; routes through BN_sqr like the profiled library."""
+        if self.reduction == "interleaved" and fastpath_enabled():
+            return self._mont_int(a, None)
         t_bn = a.sqr()
         return self._reduce(list(t_bn.d))
 

@@ -14,9 +14,10 @@ cipher), making decryption cost symmetric with encryption.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from ..perf import charge, mix
+from ..runtime import fastpath_enabled
 
 _M32 = 0xFFFFFFFF
 
@@ -167,6 +168,86 @@ def _inv_mix_key(w: Sequence[int], nr: int) -> List[int]:
     return out
 
 
+#: Expanded-schedule memo for the fast path.  Key expansion is deterministic
+#: in the key bytes, so contexts for a repeated key can share the schedule
+#: lists; the modeled expansion cost is still charged per context.
+_SCHEDULE_CACHE: Dict[bytes, Tuple[List[int], List[int]]] = {}
+_SCHEDULE_CACHE_MAX = 512
+
+
+def _schedules(key: bytes) -> Tuple[List[int], List[int]]:
+    cached = _SCHEDULE_CACHE.get(key)
+    if cached is None:
+        ek = _expand_key(key)
+        cached = (ek, _inv_mix_key(ek, len(key) // 4 + 6))
+        if len(_SCHEDULE_CACHE) >= _SCHEDULE_CACHE_MAX:
+            _SCHEDULE_CACHE.clear()
+        _SCHEDULE_CACHE[key] = cached
+    return cached
+
+
+def _encrypt_core(ek: Sequence[int], rounds: int, block: bytes) -> bytes:
+    """Uncharged fast encryption core (tables bound to locals)."""
+    te0, te1, te2, te3 = TE0, TE1, TE2, TE3
+    s0 = int.from_bytes(block[0:4], "big") ^ ek[0]
+    s1 = int.from_bytes(block[4:8], "big") ^ ek[1]
+    s2 = int.from_bytes(block[8:12], "big") ^ ek[2]
+    s3 = int.from_bytes(block[12:16], "big") ^ ek[3]
+    k = 4
+    for _ in range(rounds - 1):
+        t0 = (te0[(s0 >> 24) & 0xFF] ^ te1[(s1 >> 16) & 0xFF]
+              ^ te2[(s2 >> 8) & 0xFF] ^ te3[s3 & 0xFF] ^ ek[k])
+        t1 = (te0[(s1 >> 24) & 0xFF] ^ te1[(s2 >> 16) & 0xFF]
+              ^ te2[(s3 >> 8) & 0xFF] ^ te3[s0 & 0xFF] ^ ek[k + 1])
+        t2 = (te0[(s2 >> 24) & 0xFF] ^ te1[(s3 >> 16) & 0xFF]
+              ^ te2[(s0 >> 8) & 0xFF] ^ te3[s1 & 0xFF] ^ ek[k + 2])
+        t3 = (te0[(s3 >> 24) & 0xFF] ^ te1[(s0 >> 16) & 0xFF]
+              ^ te2[(s1 >> 8) & 0xFF] ^ te3[s2 & 0xFF] ^ ek[k + 3])
+        s0, s1, s2, s3 = t0, t1, t2, t3
+        k += 4
+    sb = SBOX
+    t0 = ((sb[(s0 >> 24) & 0xFF] << 24) | (sb[(s1 >> 16) & 0xFF] << 16)
+          | (sb[(s2 >> 8) & 0xFF] << 8) | sb[s3 & 0xFF]) ^ ek[k]
+    t1 = ((sb[(s1 >> 24) & 0xFF] << 24) | (sb[(s2 >> 16) & 0xFF] << 16)
+          | (sb[(s3 >> 8) & 0xFF] << 8) | sb[s0 & 0xFF]) ^ ek[k + 1]
+    t2 = ((sb[(s2 >> 24) & 0xFF] << 24) | (sb[(s3 >> 16) & 0xFF] << 16)
+          | (sb[(s0 >> 8) & 0xFF] << 8) | sb[s1 & 0xFF]) ^ ek[k + 2]
+    t3 = ((sb[(s3 >> 24) & 0xFF] << 24) | (sb[(s0 >> 16) & 0xFF] << 16)
+          | (sb[(s1 >> 8) & 0xFF] << 8) | sb[s2 & 0xFF]) ^ ek[k + 3]
+    return ((t0 << 96) | (t1 << 64) | (t2 << 32) | t3).to_bytes(16, "big")
+
+
+def _decrypt_core(dk: Sequence[int], rounds: int, block: bytes) -> bytes:
+    """Uncharged fast decryption core (tables bound to locals)."""
+    td0, td1, td2, td3 = TD0, TD1, TD2, TD3
+    s0 = int.from_bytes(block[0:4], "big") ^ dk[0]
+    s1 = int.from_bytes(block[4:8], "big") ^ dk[1]
+    s2 = int.from_bytes(block[8:12], "big") ^ dk[2]
+    s3 = int.from_bytes(block[12:16], "big") ^ dk[3]
+    k = 4
+    for _ in range(rounds - 1):
+        t0 = (td0[(s0 >> 24) & 0xFF] ^ td1[(s3 >> 16) & 0xFF]
+              ^ td2[(s2 >> 8) & 0xFF] ^ td3[s1 & 0xFF] ^ dk[k])
+        t1 = (td0[(s1 >> 24) & 0xFF] ^ td1[(s0 >> 16) & 0xFF]
+              ^ td2[(s3 >> 8) & 0xFF] ^ td3[s2 & 0xFF] ^ dk[k + 1])
+        t2 = (td0[(s2 >> 24) & 0xFF] ^ td1[(s1 >> 16) & 0xFF]
+              ^ td2[(s0 >> 8) & 0xFF] ^ td3[s3 & 0xFF] ^ dk[k + 2])
+        t3 = (td0[(s3 >> 24) & 0xFF] ^ td1[(s2 >> 16) & 0xFF]
+              ^ td2[(s1 >> 8) & 0xFF] ^ td3[s0 & 0xFF] ^ dk[k + 3])
+        s0, s1, s2, s3 = t0, t1, t2, t3
+        k += 4
+    isb = INV_SBOX
+    t0 = ((isb[(s0 >> 24) & 0xFF] << 24) | (isb[(s3 >> 16) & 0xFF] << 16)
+          | (isb[(s2 >> 8) & 0xFF] << 8) | isb[s1 & 0xFF]) ^ dk[k]
+    t1 = ((isb[(s1 >> 24) & 0xFF] << 24) | (isb[(s0 >> 16) & 0xFF] << 16)
+          | (isb[(s3 >> 8) & 0xFF] << 8) | isb[s2 & 0xFF]) ^ dk[k + 1]
+    t2 = ((isb[(s2 >> 24) & 0xFF] << 24) | (isb[(s1 >> 16) & 0xFF] << 16)
+          | (isb[(s0 >> 8) & 0xFF] << 8) | isb[s3 & 0xFF]) ^ dk[k + 2]
+    t3 = ((isb[(s3 >> 24) & 0xFF] << 24) | (isb[(s2 >> 16) & 0xFF] << 16)
+          | (isb[(s1 >> 8) & 0xFF] << 8) | isb[s0 & 0xFF]) ^ dk[k + 3]
+    return ((t0 << 96) | (t1 << 64) | (t2 << 32) | t3).to_bytes(16, "big")
+
+
 class AES:
     """AES-128/192/256 on 16-byte blocks."""
 
@@ -178,8 +259,11 @@ class AES:
             raise ValueError("AES key must be 16, 24 or 32 bytes")
         self.key_size = len(key)
         self.rounds = len(key) // 4 + 6
-        self._ek = _expand_key(key)
-        self._dk = _inv_mix_key(self._ek, self.rounds)
+        if fastpath_enabled():
+            self._ek, self._dk = _schedules(bytes(key))
+        else:
+            self._ek = _expand_key(key)
+            self._dk = _inv_mix_key(self._ek, self.rounds)
         nwords = 4 * (self.rounds + 1)
         # Decryption-schedule preparation costs the same expansion again
         # plus an InvMixColumns pass; SSL contexts need both directions.
@@ -190,6 +274,13 @@ class AES:
     def encrypt_block(self, block: bytes) -> bytes:
         if len(block) != 16:
             raise ValueError("AES block must be 16 bytes")
+        if fastpath_enabled():
+            charge(AES_INIT, function="AES_encrypt", stall=AES_STALL)
+            charge(AES_ROUND, times=self.rounds - 1, function="AES_encrypt",
+                   stall=AES_STALL)
+            charge(AES_FINAL, function="AES_encrypt", stall=AES_STALL)
+            charge(AES_CALL, function="AES_encrypt")
+            return _encrypt_core(self._ek, self.rounds, block)
         ek = self._ek
         s0 = int.from_bytes(block[0:4], "big") ^ ek[0]
         s1 = int.from_bytes(block[4:8], "big") ^ ek[1]
@@ -226,6 +317,13 @@ class AES:
     def decrypt_block(self, block: bytes) -> bytes:
         if len(block) != 16:
             raise ValueError("AES block must be 16 bytes")
+        if fastpath_enabled():
+            charge(AES_INIT, function="AES_decrypt", stall=AES_STALL)
+            charge(AES_ROUND, times=self.rounds - 1, function="AES_decrypt",
+                   stall=AES_STALL)
+            charge(AES_FINAL, function="AES_decrypt", stall=AES_STALL)
+            charge(AES_CALL, function="AES_decrypt")
+            return _decrypt_core(self._dk, self.rounds, block)
         dk = self._dk
         s0 = int.from_bytes(block[0:4], "big") ^ dk[0]
         s1 = int.from_bytes(block[4:8], "big") ^ dk[1]

@@ -71,6 +71,10 @@ class BatchRsaKeySet:
         if len(set(exponents)) != len(exponents):
             raise BatchRsaError("member public exponents must be distinct")
         ExponentTree(exponents)  # validates odd + pairwise coprime
+        # One Montgomery context per (modulus, reduction style) for the whole
+        # family: every member adopts the first member's context cache.
+        for key in members[1:]:
+            key.share_montgomery(first)
         self.members = tuple(members)
         self.exponents = tuple(exponents)
         self.n = first.n
@@ -160,16 +164,15 @@ class BatchRsaDecryptor:
     def __init__(self, keyset: BatchRsaKeySet, blinding: bool = True):
         self.keyset = keyset
         self.blinding = blinding
-        self._mont_n: Optional[MontgomeryContext] = None
         #: One synthesized private key per distinct sub-batch exponent
         #: product (partial batches use a subset of the exponents).
-        self._batch_keys: Dict[Tuple[int, bool], RsaPrivateKey] = {}
+        self._batch_keys: Dict[Tuple[int, bool, str], RsaPrivateKey] = {}
 
     # -- helpers --------------------------------------------------------------
     def _ctx_n(self) -> MontgomeryContext:
-        if self._mont_n is None:
-            self._mont_n = MontgomeryContext(self.keyset.n)
-        return self._mont_n
+        # The percolation shares the key family's full-width context (same
+        # modulus, same reduction style) instead of building its own.
+        return self.keyset.members[0]._ctx_n()
 
     def _mod_mul(self, a: BigNum, b: BigNum) -> BigNum:
         return a.mul(b).mod(self.keyset.n)
@@ -182,7 +185,7 @@ class BatchRsaDecryptor:
         """
         proto = self.keyset.members[0]
         use_crt = proto.use_crt
-        cache_key = (e_product, use_crt)
+        cache_key = (e_product, use_crt, proto.mont_reduction)
         key = self._batch_keys.get(cache_key)
         if key is None:
             p, q = proto.p.to_int(), proto.q.to_int()
@@ -194,7 +197,9 @@ class BatchRsaDecryptor:
                 dmp1=BigNum.from_int(d % (p - 1)),
                 dmq1=BigNum.from_int(d % (q - 1)),
                 iqmp=proto.iqmp, use_crt=use_crt,
-                blinding=self.blinding)
+                blinding=self.blinding,
+                mont_reduction=proto.mont_reduction)
+            key.share_montgomery(proto)
             self._batch_keys[cache_key] = key
         return key
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from ..perf import charge, mix
+from ..runtime import fastpath_enabled
 
 # ---------------------------------------------------------------------------
 # FIPS 46-3 tables (1-based bit positions, MSB = bit 1)
@@ -273,7 +274,65 @@ def _feistel(r: int, subkey: int) -> int:
             ^ sp[6][(x >> 6) & 0x3F] ^ sp[7][x & 0x3F])
 
 
+def _build_rounds_fast():
+    """Generate a fully unrolled 16-round Feistel pass (the fast backend).
+
+    The E and SP tables are bound into the function's globals, the 16
+    subkeys unpack into locals, and each round XORs the inlined round
+    function into the opposite half (role names alternate instead of
+    swapping values).  Bit-identical to :func:`_rounds` by construction.
+    """
+    lines = [
+        "def _rounds_unrolled(l, r, subkeys):",
+        "    " + ", ".join(f"k{i}" for i in range(16)) + " = subkeys",
+    ]
+    names = ["l", "r"]
+    for i in range(16):
+        L, R = names
+        lines.append(f"    x = (e0[({R} >> 24) & 0xFF]"
+                     f" | e1[({R} >> 16) & 0xFF]"
+                     f" | e2[({R} >> 8) & 0xFF]"
+                     f" | e3[{R} & 0xFF]) ^ k{i}")
+        lines.append(f"    {L} ^= (sp0[(x >> 42) & 0x3F]"
+                     f" ^ sp1[(x >> 36) & 0x3F]"
+                     f" ^ sp2[(x >> 30) & 0x3F]"
+                     f" ^ sp3[(x >> 24) & 0x3F]"
+                     f" ^ sp4[(x >> 18) & 0x3F]"
+                     f" ^ sp5[(x >> 12) & 0x3F]"
+                     f" ^ sp6[(x >> 6) & 0x3F]"
+                     f" ^ sp7[x & 0x3F])")
+        names.reverse()
+    lines.append(f"    return {names[0]}, {names[1]}")
+    namespace = {
+        "e0": _E_T[0], "e1": _E_T[1], "e2": _E_T[2], "e3": _E_T[3],
+        **{f"sp{i}": _SP[i] for i in range(8)},
+    }
+    exec(compile("\n".join(lines), "<des-fastpath>", "exec"), namespace)
+    return namespace["_rounds_unrolled"]
+
+
+_rounds_fast = _build_rounds_fast()
+
+
+def _build_perm_fast(tables: List[List[int]], in_bits: int):
+    """Generate an unrolled wide-permutation lookup (one OR chain)."""
+    shifts = list(range(in_bits - 8, -1, -8))
+    expr = " | ".join(
+        f"t{i}[(v >> {s}) & 0xFF]" if s else f"t{i}[v & 0xFF]"
+        for i, s in enumerate(shifts))
+    lines = [f"def _perm(v):", f"    return {expr}"]
+    namespace = {f"t{i}": tables[i] for i in range(len(tables))}
+    exec(compile("\n".join(lines), "<des-perm-fastpath>", "exec"), namespace)
+    return namespace["_perm"]
+
+
+_ip_fast = _build_perm_fast(_IP_T, 64)
+_fp_fast = _build_perm_fast(_FP_T, 64)
+
+
 def _rounds(l: int, r: int, subkeys: Sequence[int]) -> Tuple[int, int]:
+    if fastpath_enabled():
+        return _rounds_fast(l, r, subkeys)
     for k in subkeys:
         l, r = r, l ^ _feistel(r, k)
     return l, r
@@ -300,13 +359,20 @@ class DES:
     def _crypt_block(self, block: bytes, subkeys: Sequence[int]) -> bytes:
         if len(block) != 8:
             raise ValueError("DES block must be 8 bytes")
-        v = _apply_perm(_IP_T, int.from_bytes(block, "big"), 64)
+        fast = fastpath_enabled()
+        if fast:
+            v = _ip_fast(int.from_bytes(block, "big"))
+        else:
+            v = _apply_perm(_IP_T, int.from_bytes(block, "big"), 64)
         charge(DES_IP, function="DES_encrypt", stall=DES_STALL)
         l, r = (v >> 32) & _M32, v & _M32
         l, r = _rounds(l, r, subkeys)
         charge(DES_ROUND, times=16, function="DES_encrypt", stall=DES_STALL)
         preoutput = (r << 32) | l  # final swap
-        out = _apply_perm(_FP_T, preoutput, 64)
+        if fast:
+            out = _fp_fast(preoutput)
+        else:
+            out = _apply_perm(_FP_T, preoutput, 64)
         charge(DES_FP, function="DES_encrypt", stall=DES_STALL)
         charge(DES_CALL, function="DES_encrypt")
         return out.to_bytes(8, "big")
@@ -346,7 +412,11 @@ class TripleDES:
                      schedule: Tuple[Sequence[int], ...]) -> bytes:
         if len(block) != 8:
             raise ValueError("3DES block must be 8 bytes")
-        v = _apply_perm(_IP_T, int.from_bytes(block, "big"), 64)
+        fast = fastpath_enabled()
+        if fast:
+            v = _ip_fast(int.from_bytes(block, "big"))
+        else:
+            v = _apply_perm(_IP_T, int.from_bytes(block, "big"), 64)
         charge(DES_IP, function="DES_encrypt3", stall=DES_STALL)
         l, r = (v >> 32) & _M32, v & _M32
         # Between stages the halves swap roles (no IP/FP in the middle).
@@ -356,7 +426,10 @@ class TripleDES:
         charge(DES_ROUND, times=48, function="DES_encrypt3",
                stall=DES_STALL)
         preoutput = (r << 32) | l
-        out = _apply_perm(_FP_T, preoutput, 64)
+        if fast:
+            out = _fp_fast(preoutput)
+        else:
+            out = _apply_perm(_FP_T, preoutput, 64)
         charge(DES_FP, function="DES_encrypt3", stall=DES_STALL)
         charge(DES_CALL, function="DES_encrypt3")
         return out.to_bytes(8, "big")

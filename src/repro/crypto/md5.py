@@ -16,6 +16,7 @@ import math
 import struct
 
 from ..perf import charge, mix
+from ..runtime import fastpath_enabled
 
 #: Per-step shift amounts, by round.
 _SHIFTS = (
@@ -108,6 +109,56 @@ def _compress(state: tuple, block: bytes) -> tuple:
             (state[2] + c) & _MASK, (state[3] + d) & _MASK)
 
 
+def _build_compress_fast():
+    """Generate a fully unrolled compression function (the fast backend).
+
+    The 64 steps are emitted as straight-line code over four locals with the
+    round constants, shifts and message indices inlined -- the Python
+    analogue of the flattened assembly the paper profiles.  Bit-identical to
+    :func:`_compress` by construction (same formulas, constants folded).
+    """
+    lines = [
+        "def _compress_fast(state, block):",
+        "    x = _unpack(block)",
+        "    a, b, c, d = state",
+    ]
+    names = ["a", "b", "c", "d"]
+    for i in range(64):
+        A, B, C, D = names
+        if i < 16:
+            f = f"((({C} ^ {D}) & {B}) ^ {D})"
+        elif i < 32:
+            f = f"((({B} ^ {C}) & {D}) ^ {C})"
+        elif i < 48:
+            f = f"({B} ^ {C} ^ {D})"
+        else:
+            f = f"({C} ^ ({B} | ({D} ^ 0xFFFFFFFF)))"
+        s = _SHIFTS[i >> 4][i & 3]
+        t = f"(({A} + {f} + x[{_X_INDEX[i]}] + {_T[i]}) & 0xFFFFFFFF)"
+        lines.append(f"    t = {t}")
+        lines.append(f"    {A} = (((t << {s}) | (t >> {32 - s}))"
+                     f" + {B}) & 0xFFFFFFFF")
+        names = [D, A, B, C]
+    A, B, C, D = names
+    lines.append(f"    return ((state[0] + {A}) & 0xFFFFFFFF,"
+                 f" (state[1] + {B}) & 0xFFFFFFFF,"
+                 f" (state[2] + {C}) & 0xFFFFFFFF,"
+                 f" (state[3] + {D}) & 0xFFFFFFFF)")
+    namespace = {"_unpack": struct.Struct("<16I").unpack}
+    exec(compile("\n".join(lines), "<md5-fastpath>", "exec"), namespace)
+    return namespace["_compress_fast"]
+
+
+_compress_fast = _build_compress_fast()
+
+
+def compress(state: tuple, block: bytes) -> tuple:
+    """Backend-dispatching MD5 compression (uncharged compute)."""
+    if fastpath_enabled():
+        return _compress_fast(state, block)
+    return _compress(state, block)
+
+
 class MD5:
     """Incremental MD5 with the standard init/update/final API."""
 
@@ -132,9 +183,10 @@ class MD5:
         buf = self._buffer + data
         nblocks = len(buf) // 64
         if nblocks:
+            fn = _compress_fast if fastpath_enabled() else _compress
             state = self._state
             for i in range(nblocks):
-                state = _compress(state, buf[i * 64:(i + 1) * 64])
+                state = fn(state, buf[i * 64:(i + 1) * 64])
             self._state = state
             charge(MD5_BLOCK, times=nblocks, function="MD5_Update",
                    stall=MD5_STALL)
@@ -154,10 +206,11 @@ class MD5:
         bitlen = self._length * 8
         pad = b"\x80" + b"\x00" * ((55 - self._length) % 64)
         tail = self._buffer + pad + struct.pack("<Q", bitlen & (2**64 - 1))
+        fn = _compress_fast if fastpath_enabled() else _compress
         state = self._state
         nblocks = len(tail) // 64
         for i in range(nblocks):
-            state = _compress(state, tail[i * 64:(i + 1) * 64])
+            state = fn(state, tail[i * 64:(i + 1) * 64])
         charge(MD5_BLOCK, times=nblocks, function="MD5_Final",
                stall=MD5_STALL)
         return struct.pack("<4I", *state)

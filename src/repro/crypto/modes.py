@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Protocol
 
 from ..perf import charge, mix
+from ..runtime import fastpath_enabled
 
 
 class BlockCipher(Protocol):
@@ -57,10 +58,18 @@ class CBC:
         out = bytearray()
         prev = self._iv
         enc = self.cipher.encrypt_block
-        for i in range(0, len(data), bs):
-            block = bytes(a ^ b for a, b in zip(data[i:i + bs], prev))
-            prev = enc(block)
-            out += prev
+        if fastpath_enabled():
+            from_bytes = int.from_bytes
+            for i in range(0, len(data), bs):
+                block = (from_bytes(data[i:i + bs], "big")
+                         ^ from_bytes(prev, "big")).to_bytes(bs, "big")
+                prev = enc(block)
+                out += prev
+        else:
+            for i in range(0, len(data), bs):
+                block = bytes(a ^ b for a, b in zip(data[i:i + bs], prev))
+                prev = enc(block)
+                out += prev
         self._iv = prev
         nblocks = len(data) // bs
         if nblocks:
@@ -75,11 +84,20 @@ class CBC:
         out = bytearray()
         prev = self._iv
         dec = self.cipher.decrypt_block
-        for i in range(0, len(data), bs):
-            ct = data[i:i + bs]
-            plain = dec(ct)
-            out += bytes(a ^ b for a, b in zip(plain, prev))
-            prev = ct
+        if fastpath_enabled():
+            from_bytes = int.from_bytes
+            for i in range(0, len(data), bs):
+                ct = data[i:i + bs]
+                plain = dec(ct)
+                out += (from_bytes(plain, "big")
+                        ^ from_bytes(prev, "big")).to_bytes(bs, "big")
+                prev = ct
+        else:
+            for i in range(0, len(data), bs):
+                ct = data[i:i + bs]
+                plain = dec(ct)
+                out += bytes(a ^ b for a, b in zip(plain, prev))
+                prev = ct
         self._iv = prev
         nblocks = len(data) // bs
         if nblocks:

@@ -23,7 +23,7 @@ from __future__ import annotations
 import struct
 
 from ..perf import charge, mix
-from .md5 import MD5, MD5_BLOCK, MD5_STALL, _compress
+from .md5 import MD5, MD5_BLOCK, MD5_STALL, compress
 
 #: Bookkeeping per rand_pseudo_bytes call (pool index arithmetic, locking).
 RAND_CALL = mix(movl=16, addl=4, andl=2, cmpl=4, jnz=4, pushl=3, popl=3,
@@ -56,7 +56,7 @@ class PseudoRandom:
         nblocks = _POOL_SIZE // 64
         for _ in range(2):
             for i in range(nblocks):
-                state = _compress(state, pool[i * 64:(i + 1) * 64])
+                state = compress(state, pool[i * 64:(i + 1) * 64])
         charge(MD5_BLOCK, times=2 * nblocks, function="rand_pseudo_bytes",
                stall=MD5_STALL)
         digest = struct.pack("<4I", *state)
@@ -76,7 +76,7 @@ class PseudoRandom:
             block = (struct.pack(">Q", self._counter)
                      + bytes(self._pool[:48])
                      + b"\x80" + bytes(6) + struct.pack("<H", 448))
-            state = _compress(_IV, block[:64])
+            state = compress(_IV, block[:64])
             charge(MD5_BLOCK, function="rand_pseudo_bytes", stall=MD5_STALL)
             digest = struct.pack("<4I", *state)
             # Feed the digest back into the pool (state update).

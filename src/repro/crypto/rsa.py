@@ -27,7 +27,7 @@ pair after each use.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from .. import perf
 from ..bignum import BigNum, MontgomeryContext, mod_exp, mod_inverse
@@ -138,6 +138,11 @@ class RsaPrivateKey:
         self._mont_n: Optional[MontgomeryContext] = None
         self._mont_p: Optional[MontgomeryContext] = None
         self._mont_q: Optional[MontgomeryContext] = None
+        #: Montgomery contexts by (modulus name, reduction style).  The cache
+        #: outlives style switches and can be adopted by other keys over the
+        #: same modulus (see :meth:`share_montgomery`), so one context per
+        #: (modulus, style) exists per key family.
+        self._mont_cache: Dict[Tuple[str, str], MontgomeryContext] = {}
         self._blind_pair: Optional[tuple] = None  # (A = r^e mod n, Ai = r^-1)
 
     # -- context helpers ------------------------------------------------------
@@ -156,19 +161,39 @@ class RsaPrivateKey:
             self._mont_n = self._mont_p = self._mont_q = None
             self._blind_pair = None
 
+    def _shared_ctx(self, name: str, modulus: BigNum) -> MontgomeryContext:
+        key = (name, self._mont_reduction)
+        ctx = self._mont_cache.get(key)
+        if ctx is None:
+            ctx = MontgomeryContext(modulus, self._mont_reduction)
+            self._mont_cache[key] = ctx
+        return ctx
+
+    def share_montgomery(self, other: "RsaPrivateKey") -> None:
+        """Adopt ``other``'s Montgomery context cache.
+
+        Keys over the same ``(n, p, q)`` (batch RSA families, synthesized
+        batch keys) then reuse one context per modulus and reduction style
+        instead of each rebuilding its own.
+        """
+        if self.n != other.n or self.p != other.p or self.q != other.q:
+            raise RsaError("Montgomery sharing requires identical moduli")
+        self._mont_cache = other._mont_cache
+        self._mont_n = self._mont_p = self._mont_q = None
+
     def _ctx_n(self) -> MontgomeryContext:
         if self._mont_n is None:
-            self._mont_n = MontgomeryContext(self.n, self._mont_reduction)
+            self._mont_n = self._shared_ctx("n", self.n)
         return self._mont_n
 
     def _ctx_p(self) -> MontgomeryContext:
         if self._mont_p is None:
-            self._mont_p = MontgomeryContext(self.p, self._mont_reduction)
+            self._mont_p = self._shared_ctx("p", self.p)
         return self._mont_p
 
     def _ctx_q(self) -> MontgomeryContext:
         if self._mont_q is None:
-            self._mont_q = MontgomeryContext(self.q, self._mont_reduction)
+            self._mont_q = self._shared_ctx("q", self.q)
         return self._mont_q
 
     # -- blinding --------------------------------------------------------------

@@ -13,6 +13,7 @@ from __future__ import annotations
 import struct
 
 from ..perf import charge, mix
+from ..runtime import fastpath_enabled
 
 _MASK = 0xFFFFFFFF
 _K = (0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6)
@@ -88,6 +89,61 @@ def _compress(state: tuple, block: bytes) -> tuple:
             (state[4] + e) & _MASK)
 
 
+def _build_compress_fast():
+    """Generate a fully unrolled compression function (the fast backend).
+
+    The message schedule expands into 80 locals and the 80 steps run as
+    straight-line code with the round constants and boolean functions
+    inlined; bit-identical to :func:`_compress` by construction.
+    """
+    lines = [
+        "def _compress_fast(state, block):",
+        "    " + ", ".join(f"w{i}" for i in range(16)) + " = _unpack(block)",
+    ]
+    for i in range(16, 80):
+        lines.append(f"    t = w{i - 3} ^ w{i - 8} ^ w{i - 14} ^ w{i - 16}")
+        lines.append(f"    w{i} = ((t << 1) | (t >> 31)) & 0xFFFFFFFF")
+    lines.append("    a, b, c, d, e = state")
+    names = ["a", "b", "c", "d", "e"]
+    for i in range(80):
+        A, B, C, D, E = names
+        if i < 20:
+            f = f"(({B} & {C}) | (({B} ^ 0xFFFFFFFF) & {D}))"
+            k = _K[0]
+        elif i < 40:
+            f = f"({B} ^ {C} ^ {D})"
+            k = _K[1]
+        elif i < 60:
+            f = f"(({B} & {C}) | ({B} & {D}) | ({C} & {D}))"
+            k = _K[2]
+        else:
+            f = f"({B} ^ {C} ^ {D})"
+            k = _K[3]
+        lines.append(f"    {E} = ((({A} << 5) | ({A} >> 27)) + {f} + {E}"
+                     f" + {k} + w{i}) & 0xFFFFFFFF")
+        lines.append(f"    {B} = (({B} << 30) | ({B} >> 2)) & 0xFFFFFFFF")
+        names = [E, A, B, C, D]
+    A, B, C, D, E = names
+    lines.append(f"    return ((state[0] + {A}) & 0xFFFFFFFF,"
+                 f" (state[1] + {B}) & 0xFFFFFFFF,"
+                 f" (state[2] + {C}) & 0xFFFFFFFF,"
+                 f" (state[3] + {D}) & 0xFFFFFFFF,"
+                 f" (state[4] + {E}) & 0xFFFFFFFF)")
+    namespace = {"_unpack": struct.Struct(">16I").unpack}
+    exec(compile("\n".join(lines), "<sha1-fastpath>", "exec"), namespace)
+    return namespace["_compress_fast"]
+
+
+_compress_fast = _build_compress_fast()
+
+
+def compress(state: tuple, block: bytes) -> tuple:
+    """Backend-dispatching SHA-1 compression (uncharged compute)."""
+    if fastpath_enabled():
+        return _compress_fast(state, block)
+    return _compress(state, block)
+
+
 class SHA1:
     """Incremental SHA-1 with the standard init/update/final API."""
 
@@ -113,9 +169,10 @@ class SHA1:
         buf = self._buffer + data
         nblocks = len(buf) // 64
         if nblocks:
+            fn = _compress_fast if fastpath_enabled() else _compress
             state = self._state
             for i in range(nblocks):
-                state = _compress(state, buf[i * 64:(i + 1) * 64])
+                state = fn(state, buf[i * 64:(i + 1) * 64])
             self._state = state
             charge(SHA1_BLOCK, times=nblocks, function="SHA1_Update",
                    stall=SHA1_STALL)
@@ -135,10 +192,11 @@ class SHA1:
         bitlen = self._length * 8
         pad = b"\x80" + b"\x00" * ((55 - self._length) % 64)
         tail = self._buffer + pad + struct.pack(">Q", bitlen & (2**64 - 1))
+        fn = _compress_fast if fastpath_enabled() else _compress
         state = self._state
         nblocks = len(tail) // 64
         for i in range(nblocks):
-            state = _compress(state, tail[i * 64:(i + 1) * 64])
+            state = fn(state, tail[i * 64:(i + 1) * 64])
         charge(SHA1_BLOCK, times=nblocks, function="SHA1_Final",
                stall=SHA1_STALL)
         return struct.pack(">5I", *state)

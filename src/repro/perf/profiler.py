@@ -130,19 +130,39 @@ class Profiler:
     def charge(self, m: InstrMix, times: float = 1.0, *,
                function: str = "<anon>", module: str = LIBCRYPTO,
                stall: float = 1.0) -> float:
-        """Charge ``times`` executions of mix ``m`` and return the cycles."""
-        cycles = self.cpu.cycles(m, stall) * times
+        """Charge ``times`` executions of mix ``m`` and return the cycles.
+
+        This is the hottest non-kernel path in the model (one call per
+        charged kernel invocation), so the mix's memoized per-CPU base cost
+        and the accumulator appends are inlined.  The float operations and
+        their order are exactly those of the out-of-line helpers, keeping
+        accumulated totals bit-identical.
+        """
+        if m._cost_cpu is self.cpu:
+            if stall <= 0:
+                raise ValueError("stall_factor must be positive")
+            cycles = m._cost_base * stall * times
+        else:
+            cycles = self.cpu.cycles(m, stall) * times
         node = self._stack[-1]
         node.exclusive_cycles += cycles
-        node.func_cycles[function] += cycles
-        self.modules[module] += cycles
+        fc = node.func_cycles
+        fc[function] = fc.get(function, 0) + cycles
+        mc = self.modules
+        mc[module] = mc.get(module, 0) + cycles
         fs = self.functions.get(function)
         if fs is None:
             fs = self.functions[function] = FunctionStats(function, module)
         fs.cycles += cycles
         fs.calls += 1
-        fs.mix.add(m, times)
-        self.global_mix.add(m, times)
+        instr = m._total * times
+        entry = (m, times)
+        acc = fs.mix
+        acc._pending.append(entry)
+        acc._pending_total += instr
+        acc = self.global_mix
+        acc._pending.append(entry)
+        acc._pending_total += instr
         self._cycles += cycles
         return cycles
 

@@ -1,0 +1,70 @@
+"""Montgomery context reuse across a key's lifetime and across key families.
+
+RSA keys cache one :class:`MontgomeryContext` per ``(modulus, reduction
+style)``; batch key sets and their synthesized batch keys adopt the first
+member's cache so a whole same-modulus family percolates and exponentiates
+through literally the same context objects (no repeated ``BN_MONT_CTX_set``
+setup, one ``RR`` per modulus).  These tests pin the *identity* of the
+shared objects, not just value equality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.batch_rsa import BatchRsaDecryptor, generate_batch_keys
+from repro.crypto.rand import PseudoRandom
+from repro.crypto.rsa import RsaError
+
+
+@pytest.fixture(scope="module")
+def keyset():
+    return generate_batch_keys(512, 4,
+                               rng=PseudoRandom(b"mont-sharing-test"))
+
+
+def test_context_cached_per_key(rsa512):
+    assert rsa512._ctx_n() is rsa512._ctx_n()
+    assert rsa512._ctx_p() is rsa512._ctx_p()
+    assert rsa512._ctx_q() is rsa512._ctx_q()
+
+
+def test_context_cache_keyed_by_reduction_style(rsa512):
+    original_style = rsa512.mont_reduction
+    interleaved = rsa512._ctx_n()
+    rsa512.mont_reduction = "separate"
+    try:
+        separate = rsa512._ctx_n()
+        assert separate is not interleaved
+        assert separate.reduction == "separate"
+    finally:
+        rsa512.mont_reduction = original_style
+    # Toggling back reuses the originally built context, not a new one.
+    assert rsa512._ctx_n() is interleaved
+
+
+def test_keyset_members_share_contexts(keyset):
+    first = keyset.members[0]
+    for member in keyset.members[1:]:
+        assert member._mont_cache is first._mont_cache
+        assert member._ctx_n() is first._ctx_n()
+        assert member._ctx_p() is first._ctx_p()
+        assert member._ctx_q() is first._ctx_q()
+
+
+def test_decryptor_reuses_family_context(keyset):
+    decryptor = BatchRsaDecryptor(keyset)
+    assert decryptor._ctx_n() is keyset.members[0]._ctx_n()
+    e_product = 1
+    for e in keyset.exponents:
+        e_product *= e
+    batch_key = decryptor._batch_key(e_product)
+    assert batch_key._mont_cache is keyset.members[0]._mont_cache
+    assert batch_key._ctx_n() is keyset.members[0]._ctx_n()
+    # Cached per (product, crt-mode, style): same object on re-request.
+    assert decryptor._batch_key(e_product) is batch_key
+
+
+def test_share_montgomery_rejects_foreign_modulus(rsa512, rsa1024):
+    with pytest.raises(RsaError):
+        rsa1024.share_montgomery(rsa512)
