@@ -5,7 +5,7 @@
 
 PY_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test check bench bench-host examples artifacts all
+.PHONY: install test check bench bench-host bench-farm examples artifacts all
 
 install:
 	pip install -e .
@@ -24,6 +24,11 @@ bench:
 # writes BENCH_host_speed.json at the repository root.
 bench-host:
 	$(PY_ENV) python benchmarks/bench_host_speed.py
+
+# Farm capacity scaling (workers x cache topology x resumption ratio);
+# writes BENCH_farm_scaling.json at the repository root.
+bench-farm:
+	$(PY_ENV) python benchmarks/bench_farm_scaling.py
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PY_ENV) python $$ex > /dev/null && echo OK; done

@@ -1,0 +1,135 @@
+"""Farm capacity scaling: workers x cache topology x resumption ratio.
+
+The paper measures how SSL processing collapses the capacity of *one*
+server (Table 1); this benchmark runs the farm experiment layered on top
+of that methodology: the same HTTPS workload spread over 1, 2 and 4 worker
+replicas, under both session-cache topologies and two resumption ratios.
+
+Expected shape (verified by the ``monotone`` block in the output):
+
+* capacity rises monotonically with the worker count for every
+  (topology, resumption) series -- workers are replicas, so the makespan
+  (the busiest worker's virtual clock) shrinks as the load spreads;
+* at resumption > 0 the shared topology meets or beats the partitioned
+  one: round-robin scatters resuming clients across workers, and a
+  partitioned shard misses sessions minted elsewhere (the
+  ``cross_worker_resumptions`` column shows the recovered hits).
+
+Run directly (or via ``make bench-farm``)::
+
+    PYTHONPATH=src python benchmarks/bench_farm_scaling.py
+
+Writes ``BENCH_farm_scaling.json`` at the repository root.  Modeled
+virtual time only -- host wall-clock never enters the numbers, so the
+output is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.ssl.loopback import make_server_identity
+from repro.webserver import (
+    PARTITIONED, SHARED, RequestWorkload, ServerFarm,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_farm_scaling.json"
+
+WORKER_COUNTS = (1, 2, 4)
+TOPOLOGIES = (PARTITIONED, SHARED)
+RESUMPTION_RATES = (0.0, 0.6)
+
+NREQUESTS = 16
+CONCURRENCY_PER_WORKER = 2
+FILE_SIZE = 2048
+# 512-bit CRT keys keep the host wall-clock short; the scaling *shape* is
+# key-size independent (every worker pays the same per-handshake cost).
+KEY_BITS = 512
+
+
+def run_point(key, cert, workers: int, topology: str,
+              resumption_rate: float) -> dict:
+    farm = ServerFarm(workers, topology=topology, key=key, cert=cert,
+                      use_crt=True)
+    workload = RequestWorkload.fixed(FILE_SIZE,
+                                     resumption_rate=resumption_rate)
+    result = farm.run(workload, NREQUESTS,
+                      concurrency_per_worker=CONCURRENCY_PER_WORKER)
+    return {
+        "workers": workers,
+        "topology": topology,
+        "resumption_rate": resumption_rate,
+        "capacity_rps": result.capacity_rps(),
+        "analytic_rps": result.analytic_capacity_rps(),
+        "makespan_s": result.makespan_seconds(),
+        "requests_completed": result.requests_completed,
+        "failures": result.failures,
+        "resumed_handshakes": result.resumed_handshakes,
+        "cross_worker_resumptions": result.cross_worker_resumptions,
+        "wire_bytes": result.wire_bytes,
+        "shard_stats": result.shard_stats,
+        "per_worker": [
+            {"worker": w.worker, "cycles": w.cycles,
+             "requests_completed": w.requests_completed,
+             "resumed_handshakes": w.resumed_handshakes}
+            for w in result.worker_stats()],
+    }
+
+
+def check_monotone(series: list) -> dict:
+    """Capacity must not decrease as workers are added within a series."""
+    ordered = sorted(series, key=lambda p: p["workers"])
+    capacities = [p["capacity_rps"] for p in ordered]
+    return {
+        "workers": [p["workers"] for p in ordered],
+        "capacities_rps": capacities,
+        "monotone": all(b > a for a, b in zip(capacities, capacities[1:])),
+    }
+
+
+def main() -> dict:
+    key, cert = make_server_identity(KEY_BITS, seed=b"farm-bench")
+
+    points = []
+    for topology in TOPOLOGIES:
+        for rate in RESUMPTION_RATES:
+            for workers in WORKER_COUNTS:
+                point = run_point(key, cert, workers, topology, rate)
+                points.append(point)
+                print(f"{topology:12s} resume={rate:.1f} "
+                      f"workers={workers}  "
+                      f"capacity={point['capacity_rps']:8.1f} rps  "
+                      f"resumed={point['resumed_handshakes']}  "
+                      f"cross={point['cross_worker_resumptions']}")
+
+    monotone = {}
+    for topology in TOPOLOGIES:
+        for rate in RESUMPTION_RATES:
+            series = [p for p in points if p["topology"] == topology
+                      and p["resumption_rate"] == rate]
+            monotone[f"{topology}-r{rate:.1f}"] = check_monotone(series)
+    if not all(m["monotone"] for m in monotone.values()):
+        raise SystemExit("capacity did not scale monotonically: "
+                         + json.dumps(monotone, indent=2))
+
+    out = {
+        "config": {
+            "nrequests": NREQUESTS,
+            "concurrency_per_worker": CONCURRENCY_PER_WORKER,
+            "file_size_bytes": FILE_SIZE,
+            "key_bits": KEY_BITS,
+            "use_crt": True,
+            "policy": "round-robin",
+        },
+        "points": points,
+        "monotone": monotone,
+    }
+    OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"\nwrote {OUT_PATH}")
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -97,6 +97,27 @@ class BatchRsaKeySet:
                 return i
         raise BatchRsaError("key is not a member of this batch key set")
 
+    def partition(self, shards: int) -> List["BatchRsaKeySet"]:
+        """Split the family into ``shards`` disjoint sub-keysets.
+
+        Members are dealt round-robin, so each shard keeps a valid (still
+        pairwise coprime) exponent subset over the shared modulus.  A
+        server farm gives each worker one shard: the worker's batch queue
+        then only ever holds ciphertexts for its own member keys, and its
+        handshake continuations stay worker-local by construction.  With
+        one shard the result is equivalent to the full set.
+        """
+        if shards < 1:
+            raise BatchRsaError("need at least one shard")
+        if shards > len(self.members):
+            raise BatchRsaError(
+                f"cannot split {len(self.members)} member keys into "
+                f"{shards} non-empty shards")
+        groups: List[List[RsaPrivateKey]] = [[] for _ in range(shards)]
+        for i, member in enumerate(self.members):
+            groups[i % shards].append(member)
+        return [BatchRsaKeySet(group) for group in groups]
+
 
 def generate_batch_keys(bits: int, count: int,
                         exponents: Optional[Sequence[int]] = None,

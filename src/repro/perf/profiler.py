@@ -200,6 +200,15 @@ class Profiler:
         """Virtual timestamp: total cycles charged so far (the rdtsc stand-in)."""
         return self._cycles
 
+    def seconds(self) -> float:
+        """Virtual wall-clock: charged cycles over the modelled frequency.
+
+        This is the per-worker clock of the web-server farm -- session
+        expiry and batch timeouts advance with the work a worker actually
+        performed, not with host time.
+        """
+        return self._cycles / self.cpu.frequency_hz
+
     # -- results ------------------------------------------------------------
     def total_cycles(self) -> float:
         return self._cycles

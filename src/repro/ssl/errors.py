@@ -45,6 +45,18 @@ class DecodeError(SslError):
     """Malformed wire bytes (truncated or inconsistent lengths)."""
 
 
+class SequenceOverflow(SslError):
+    """A record-layer sequence number reached its 2^64 wrap point.
+
+    The SSLv3/TLS MAC input encodes the per-direction sequence number in
+    64 bits; letting it wrap would silently reuse MAC sequence numbers and
+    void the anti-replay guarantee.  The connection must be torn down (or
+    renegotiated) instead -- this is fatal and deliberately *not* an
+    :class:`AlertError`: by the time the write side trips it, no further
+    record (alerts included) can be sealed on that direction.
+    """
+
+
 class AlertError(SslError):
     """A condition that maps to an SSLv3 alert."""
 

@@ -29,7 +29,7 @@ from ..crypto.rc4 import RC4
 from ..perf import charge, mix
 from ..runtime import fastpath_enabled
 from .ciphersuites import CipherSuite
-from .errors import BadRecordMac, DecodeError
+from .errors import BadRecordMac, DecodeError, SequenceOverflow
 
 SSL3_VERSION = 0x0300
 TLS1_VERSION = 0x0301
@@ -75,10 +75,18 @@ class ConnectionState:
     length.
     """
 
+    #: Sequence numbers are 64-bit on the wire; reaching the cap is fatal.
+    SEQ_NUM_CAP = 1 << 64
+
     def __init__(self, suite: CipherSuite, material: KeyMaterial,
-                 version: int = SSL3_VERSION):
+                 version: int = SSL3_VERSION,
+                 seq_cap: int = SEQ_NUM_CAP):
+        """``seq_cap`` lowers the 2^64 sequence-number wrap point so tests
+        can exercise the overflow path without sealing 2^64 records."""
         if version not in SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported protocol version 0x{version:04x}")
+        if not 1 <= seq_cap <= self.SEQ_NUM_CAP:
+            raise ValueError("seq_cap must be in [1, 2^64]")
         self.suite = suite
         self.version = version
         self.cipher: Optional[Union[CBC, RC4]] = suite.new_cipher(
@@ -86,6 +94,7 @@ class ConnectionState:
         self.mac_secret = material.mac_secret
         self.hash_factory = suite.hash_factory()
         self.seq_num = 0
+        self.seq_cap = seq_cap
         #: Lazily built precomputed MAC state (fast path): the connection's
         #: secret||pad / ipad-opad prefix is hashed once and cloned per
         #: record, with the prefix charges replayed so modeled cycles match
@@ -116,6 +125,9 @@ class ConnectionState:
         """MAC, pad, encrypt one fragment; returns the ciphertext body."""
         if len(fragment) > MAX_FRAGMENT:
             raise ValueError("fragment exceeds SSLv3 maximum")
+        if self.seq_num >= self.seq_cap:
+            raise SequenceOverflow(
+                "outgoing record sequence number exhausted")
         with perf.region("mac"):
             mac = self._mac(content_type, fragment)
         self.seq_num += 1
@@ -148,7 +160,15 @@ class ConnectionState:
         oracle (Vaudenay) to an attacker timing the two error paths.  The
         sequence number likewise advances exactly once per record, success
         or failure, so a rejected record cannot desynchronize the state.
+
+        Reaching the 64-bit sequence-number cap is the one pre-crypto
+        failure: the record cannot be authenticated without reusing a MAC
+        sequence number, so :class:`SequenceOverflow` is raised before any
+        processing (and before the counter advances -- the state is dead).
         """
+        if self.seq_num >= self.seq_cap:
+            raise SequenceOverflow(
+                "incoming record sequence number exhausted")
         try:
             return self._open_checked(content_type, body)
         finally:

@@ -235,12 +235,18 @@ class SslServer(SslConnection):
                  max_version: int = 0x0301,
                  cert_chain: Sequence[Certificate] = (),
                  allow_renegotiation: bool = True,
-                 batcher: Optional[HandshakeBatcher] = None):
+                 batcher: Optional[HandshakeBatcher] = None,
+                 clock: Optional[Callable[[], float]] = None,
+                 session_lifetime: Optional[float] = None):
         """``cert_chain``: intermediate/root certificates sent after the
         leaf (the paper's server used a single self-signed certificate).
         ``batcher``: a shared :class:`HandshakeBatcher`; when set, the RSA
         ClientKeyExchange decrypt is deferred into its queue and the
-        handshake suspends until the batch flushes."""
+        handshake suspends until the batch flushes.  ``clock``: virtual
+        wall-clock in seconds (e.g. ``profiler.seconds``); when set, cache
+        lookups enforce session expiry and minted sessions are stamped
+        with their creation time.  ``session_lifetime`` overrides the
+        OpenSSL-default 300 s lifetime of minted sessions."""
         with perf.region("init"):
             super().__init__()
             self._key = private_key
@@ -259,6 +265,8 @@ class SslServer(SslConnection):
             self._dh_keypair: Optional[DhKeyPair] = None
             self._allow_renegotiation = allow_renegotiation
             self._batcher = batcher
+            self._clock = clock
+            self._session_lifetime = session_lifetime
             self._kx_waiting = False
             self._held_records: List[tuple] = []
             self.renegotiations = 0
@@ -357,7 +365,10 @@ class SslServer(SslConnection):
 
         session = None
         if self._cache is not None and hello.session_id:
-            session = self._cache.get(hello.session_id)
+            # The virtual clock (when modelled) rides into the lookup so
+            # expired sessions miss instead of resuming forever.
+            now = self._clock() if self._clock is not None else None
+            session = self._cache.get(hello.session_id, now)
             if session is not None and session.cipher_suite_id not in \
                     hello.cipher_suites:
                 session = None
@@ -374,6 +385,11 @@ class SslServer(SslConnection):
         else:
             with perf.region("rand_pseudo_bytes"):
                 self._session_id = self._rng.bytes(32)
+                # Never echo an id we just declined to resume (expired or
+                # unknown): the client reads an echoed offer as acceptance
+                # and would wait for Finished instead of a Certificate.
+                while self._session_id == hello.session_id:
+                    self._session_id = self._rng.bytes(32)
             self._pending.append(self._send_server_hello)
             self._pending.append(self._send_server_cert)
             if self.cipher_suite.key_exchange == "DHE_RSA":
@@ -617,10 +633,15 @@ class SslServer(SslConnection):
             _charge_split(SSL_CLEANUP, "ssl3_cleanup_key_block")
             self._pre_master = None
         if self._cache is not None and self._session_id and not self.resumed:
+            extra = {}
+            if self._clock is not None:
+                extra["created_at"] = self._clock()
+            if self._session_lifetime is not None:
+                extra["lifetime"] = self._session_lifetime
             self._cache.put(SslSession(
                 session_id=self._session_id,
                 cipher_suite_id=self.cipher_suite.suite_id,
-                master_secret=self.master_secret))
+                master_secret=self.master_secret, **extra))
         self._state = ServerHandshakeState.CONNECTED
         self.handshake_complete = True
 

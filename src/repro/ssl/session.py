@@ -43,7 +43,14 @@ class SslSession:
 
 
 class SessionCache:
-    """LRU cache of resumable sessions, keyed by session id."""
+    """LRU cache of resumable sessions, keyed by session id.
+
+    Every way an entry can leave the cache early is counted in one
+    ``evictions`` counter: capacity-driven LRU drops in :meth:`put`,
+    expired entries dropped on lookup in :meth:`get`, and sweeps by
+    :meth:`purge_expired`.  ``hits``/``misses`` count lookups only, so a
+    farm shard's resumption hit-rate and its churn can be read separately.
+    """
 
     def __init__(self, capacity: int = 1024):
         if capacity < 1:
@@ -52,6 +59,7 @@ class SessionCache:
         self._entries: "OrderedDict[bytes, SslSession]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def put(self, session: SslSession) -> None:
         sid = session.session_id
@@ -60,6 +68,7 @@ class SessionCache:
         self._entries[sid] = session
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def get(self, session_id: bytes,
             now: Optional[float] = None) -> Optional[SslSession]:
@@ -75,6 +84,7 @@ class SessionCache:
         if now is not None and session.expired_at(now):
             del self._entries[session_id]
             self.misses += 1
+            self.evictions += 1
             return None
         self._entries.move_to_end(session_id)
         self.hits += 1
@@ -86,10 +96,17 @@ class SessionCache:
                 if s.expired_at(now)]
         for sid in dead:
             del self._entries[sid]
+        self.evictions += len(dead)
         return len(dead)
 
     def remove(self, session_id: bytes) -> None:
         self._entries.pop(session_id, None)
+
+    def stats(self) -> dict:
+        """Lookup/churn counters plus current occupancy, for farm metrics."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "size": len(self._entries),
+                "capacity": self.capacity}
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -1,9 +1,15 @@
 """Simulated HTTPS web-server environment (Apache + mod_ssl + Linux stand-in)."""
 
 from .capacity import (
-    LoadResult, LoadSimulator, MixedLoadSimulator, requests_per_second,
+    LoadResult, LoadSimulator, MixedLoadSimulator, farm_requests_per_second,
+    requests_per_second,
 )
 from .costs import DEFAULT_COSTS, SystemCostModel
+from .farm import (
+    PARTITIONED, POLICIES, SHARED, TOPOLOGIES,
+    FarmResult, LeastConnectionsPolicy, LoadBalancerPolicy,
+    RoundRobinPolicy, ServerFarm, SessionAffinityPolicy, WorkerStats,
+)
 from .httpd import (
     ApacheWorker, HttpError, HttpRequest, build_request, build_response,
     parse_request, parse_response,
@@ -13,8 +19,12 @@ from .workload import Request, RequestWorkload, document_bytes
 
 __all__ = [
     "LoadResult", "LoadSimulator", "MixedLoadSimulator",
-    "requests_per_second",
+    "farm_requests_per_second", "requests_per_second",
     "DEFAULT_COSTS", "SystemCostModel",
+    "PARTITIONED", "POLICIES", "SHARED", "TOPOLOGIES",
+    "FarmResult", "LeastConnectionsPolicy", "LoadBalancerPolicy",
+    "RoundRobinPolicy", "ServerFarm", "SessionAffinityPolicy",
+    "WorkerStats",
     "ApacheWorker", "HttpError", "HttpRequest", "build_request",
     "build_response", "parse_request", "parse_response",
     "SimulationResult", "WebServerSimulator", "run_experiment",

@@ -33,6 +33,30 @@ def requests_per_second(cycles_per_request: float,
     return cpu.frequency_hz / cycles_per_request
 
 
+def farm_requests_per_second(worker_cycles: Sequence[float],
+                             worker_requests: Sequence[int],
+                             cpu: CpuModel = PENTIUM4) -> float:
+    """Aggregate analytic ceiling of a worker farm.
+
+    Each worker replica runs on its own CPU, so the farm's ceiling is the
+    sum of per-worker ceilings computed from that worker's *own* measured
+    cycles-per-request (shards see different request mixes -- e.g. a
+    session-affinity balancer concentrates cheap resumed handshakes).
+    Workers that served nothing contribute nothing.
+    """
+    if len(worker_cycles) != len(worker_requests):
+        raise ValueError("need one cycle total per worker request count")
+    if not worker_cycles:
+        raise ValueError("need at least one worker")
+    total = 0.0
+    for cycles, requests in zip(worker_cycles, worker_requests):
+        if requests < 0 or cycles < 0:
+            raise ValueError("worker totals cannot be negative")
+        if requests:
+            total += requests_per_second(cycles / requests, cpu)
+    return total
+
+
 @dataclass
 class LoadResult:
     """What the load simulation measured."""

@@ -1,0 +1,483 @@
+"""Sharded multi-worker HTTPS server farm.
+
+The paper sizes SSL processing against a single Pentium 4 (Table 1's
+secure-vs-plain capacity collapse).  This module scales that methodology
+across ``N`` worker replicas, the way production sites actually recovered
+the lost capacity: each worker owns a
+:class:`~repro.webserver.simulator.WebServerSimulator` replica (its own
+connection pool, its own :class:`~repro.ssl.server.HandshakeBatcher` queue
+when batch RSA is on, and its own virtual clock -- a private
+:class:`~repro.perf.Profiler`), fronted by a pluggable load balancer.
+
+Two session-cache topologies are modelled:
+
+* ``partitioned`` -- every worker keeps a private
+  :class:`~repro.ssl.session.SessionCache` shard.  A client whose session
+  was minted on worker A and who lands on worker B misses and pays a full
+  handshake (the classic multi-worker resumption problem);
+* ``shared`` -- one cache serves every worker (mod_ssl's shared-memory
+  session cache / a distributed cache), so resumption survives
+  cross-worker rescheduling.
+
+Three balancing policies ship: round-robin, least-connections and
+session-affinity hashing (route a resuming client back to the worker that
+minted its session -- which recovers resumption hits even under the
+partitioned topology).
+
+**The N=1 invariant**: a one-worker farm is *bit-identical* -- cycle
+totals, charge stream, transcript bytes -- to
+``WebServerSimulator.run(..., concurrency=k)``.  The farm does not model
+anything new at N=1; it only adds the sharding axis.  The scheduling loop
+therefore mirrors ``WebServerSimulator._run_concurrent`` exactly
+(admission, stepping order, batch ticking, stall handling), per worker.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from .. import perf
+from ..crypto.batch_rsa import BatchRsaKeySet
+from ..crypto.rsa import RsaPrivateKey
+from ..ssl.ciphersuites import CipherSuite, DEFAULT_SUITE
+from ..ssl.loopback import make_server_identity
+from ..ssl.session import SessionCache, SslSession
+from ..ssl.x509 import Certificate
+from .capacity import farm_requests_per_second
+from .costs import DEFAULT_COSTS, SystemCostModel
+from .simulator import SimulationResult, WebServerSimulator, _Transaction
+from .workload import Request, RequestWorkload
+
+PARTITIONED = "partitioned"
+SHARED = "shared"
+TOPOLOGIES = (PARTITIONED, SHARED)
+
+
+class _SessionPool(list):
+    """Client-side session pool shared across all workers.
+
+    Clients are oblivious to the farm: whichever worker served their last
+    connection, the minted session lands here and the next resumable
+    connection offers it -- exactly the single-simulator behaviour, which
+    is what makes cross-worker resumption measurable at all.  ``append``
+    also records the minting worker so affinity routing (and the
+    cross-worker accounting) can find a session's home shard.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.owners: Dict[bytes, int] = {}
+        self.current_worker = 0
+
+    def append(self, session: SslSession) -> None:
+        self.owners[session.session_id] = self.current_worker
+        super().append(session)
+
+
+# ---------------------------------------------------------------------------
+# Load-balancing policies
+# ---------------------------------------------------------------------------
+
+class LoadBalancerPolicy:
+    """Admission-time worker selection.
+
+    :meth:`select` returns the index of a worker with a free connection
+    slot, or ``None`` to hold the connection at the head of the accept
+    queue for this scheduling round (e.g. a sticky target is saturated).
+    """
+
+    name = "abstract"
+
+    def select(self, farm: "ServerFarm",
+               group: Sequence[Request]) -> Optional[int]:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(LoadBalancerPolicy):
+    """Cycle through the workers, skipping saturated ones."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, farm: "ServerFarm",
+               group: Sequence[Request]) -> Optional[int]:
+        for offset in range(farm.nworkers):
+            worker = (self._next + offset) % farm.nworkers
+            if farm.free_slots(worker):
+                self._next = (worker + 1) % farm.nworkers
+                return worker
+        return None
+
+
+class LeastConnectionsPolicy(LoadBalancerPolicy):
+    """Pick the worker with the fewest in-flight connections."""
+
+    name = "least-connections"
+
+    def select(self, farm: "ServerFarm",
+               group: Sequence[Request]) -> Optional[int]:
+        candidates = [w for w in range(farm.nworkers) if farm.free_slots(w)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda w: (farm.active_connections(w), w))
+
+
+class SessionAffinityPolicy(LoadBalancerPolicy):
+    """Route a resuming client to the worker that minted its session.
+
+    This is sticky routing keyed on the offered session id: under the
+    partitioned cache topology it is what turns guaranteed cross-worker
+    misses back into hits.  Fresh (non-resuming) connections fall back to
+    round-robin; a saturated sticky target holds the connection back
+    rather than breaking affinity.
+    """
+
+    name = "session-affinity"
+
+    def __init__(self) -> None:
+        self._fallback = RoundRobinPolicy()
+
+    def select(self, farm: "ServerFarm",
+               group: Sequence[Request]) -> Optional[int]:
+        session = farm.offered_session(group)
+        if session is not None:
+            owner = farm.session_owner(session.session_id)
+            if owner is not None:
+                return owner if farm.free_slots(owner) else None
+        return self._fallback.select(farm, group)
+
+
+POLICIES = {cls.name: cls for cls in
+            (RoundRobinPolicy, LeastConnectionsPolicy,
+             SessionAffinityPolicy)}
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WorkerStats:
+    """Per-worker summary row of one farm run."""
+
+    worker: int
+    cycles: float
+    seconds: float
+    requests_completed: int
+    failures: int
+    resumed_handshakes: int
+    wire_bytes: int
+    batched_ops: int
+
+
+@dataclass
+class FarmResult:
+    """Aggregate + per-shard measurements of one farm run."""
+
+    nworkers: int
+    topology: str
+    policy: str
+    #: Per-worker results; ``results[i].profiler`` is worker ``i``'s
+    #: virtual clock.
+    results: List[SimulationResult] = field(default_factory=list)
+    #: Per-*shard* cache counters (N shards when partitioned, 1 when
+    #: shared), each ``{"shard", "workers", "hits", "misses",
+    #: "evictions", "size", "capacity"}``.
+    shard_stats: List[Dict] = field(default_factory=list)
+    #: Resumptions served by a worker other than the session's minter
+    #: (only possible under the shared topology).
+    cross_worker_resumptions: int = 0
+
+    # -- aggregates ---------------------------------------------------------
+    @property
+    def requests_completed(self) -> int:
+        return sum(r.requests_completed for r in self.results)
+
+    @property
+    def failures(self) -> int:
+        return sum(r.failures for r in self.results)
+
+    @property
+    def resumed_handshakes(self) -> int:
+        return sum(r.resumed_handshakes for r in self.results)
+
+    @property
+    def bytes_served(self) -> int:
+        return sum(r.bytes_served for r in self.results)
+
+    @property
+    def wire_bytes(self) -> int:
+        return sum(r.wire_bytes for r in self.results)
+
+    @property
+    def batched_ops(self) -> int:
+        return sum(r.batched_ops for r in self.results)
+
+    def worker_stats(self) -> List[WorkerStats]:
+        return [WorkerStats(
+            worker=i, cycles=r.profiler.total_cycles(),
+            seconds=r.profiler.seconds(),
+            requests_completed=r.requests_completed, failures=r.failures,
+            resumed_handshakes=r.resumed_handshakes,
+            wire_bytes=r.wire_bytes, batched_ops=r.batched_ops)
+            for i, r in enumerate(self.results)]
+
+    def total_cycles(self) -> float:
+        return sum(r.profiler.total_cycles() for r in self.results)
+
+    def makespan_seconds(self) -> float:
+        """Virtual wall-clock of the run: the busiest worker's clock."""
+        return max(r.profiler.seconds() for r in self.results)
+
+    def capacity_rps(self) -> float:
+        """Achieved farm capacity: completed requests over the makespan.
+
+        This is the farm-scale analogue of the paper's Table 1 capacity
+        (requests/s at saturation): workers run in parallel, so the run
+        "takes" as long as its most loaded worker.
+        """
+        makespan = self.makespan_seconds()
+        if makespan <= 0.0:
+            return 0.0
+        return self.requests_completed / makespan
+
+    def analytic_capacity_rps(self) -> float:
+        """Sum of per-worker analytic ceilings (see ``capacity.py``)."""
+        return farm_requests_per_second(
+            [r.profiler.total_cycles() for r in self.results],
+            [r.requests_completed for r in self.results],
+            self.results[0].profiler.cpu)
+
+    def merged_profiler(self) -> perf.Profiler:
+        """All workers folded into one profile (Table 1 at farm scale)."""
+        target = perf.Profiler(self.results[0].profiler.cpu)
+        return perf.merge_profilers(target,
+                                    *[r.profiler for r in self.results])
+
+    def module_shares(self) -> Dict[str, float]:
+        merged = self.merged_profiler()
+        return {name: share
+                for name, _, share in merged.module_breakdown()}
+
+    def batch_histogram(self) -> Dict[int, int]:
+        """Union of the per-worker batch-size histograms."""
+        merged: Dict[int, int] = {}
+        for r in self.results:
+            for size, count in r.batches.items():
+                merged[size] = merged.get(size, 0) + count
+        return merged
+
+
+# ---------------------------------------------------------------------------
+# The farm
+# ---------------------------------------------------------------------------
+
+class _WorkerState:
+    """Run-time bookkeeping for one worker replica."""
+
+    __slots__ = ("index", "sim", "profiler", "result", "active", "stalled")
+
+    def __init__(self, index: int, sim: WebServerSimulator):
+        self.index = index
+        self.sim = sim
+        self.profiler = perf.Profiler()
+        self.result = SimulationResult(profiler=self.profiler)
+        self.active: List[_Transaction] = []
+        self.stalled = 0
+
+
+class ServerFarm:
+    """N web-server worker replicas behind a load balancer.
+
+    All workers serve the same identity (one certificate, like a real
+    farm) and the same suite/version configuration; what varies per
+    worker is its connection pool, its virtual clock, its batch queue and
+    -- under the partitioned topology -- its session-cache shard.
+    """
+
+    def __init__(self, nworkers: int, *,
+                 topology: str = PARTITIONED,
+                 policy: Union[str, LoadBalancerPolicy] = "round-robin",
+                 suite: CipherSuite = DEFAULT_SUITE,
+                 key: Optional[RsaPrivateKey] = None,
+                 cert: Optional[Certificate] = None,
+                 costs: SystemCostModel = DEFAULT_COSTS,
+                 use_crt: bool = False,
+                 version: int = 0x0300,
+                 seed: bytes = b"webserver",
+                 key_set: Optional[BatchRsaKeySet] = None,
+                 batch_size: Optional[int] = None,
+                 batch_timeout: int = 8,
+                 session_lifetime: float = 300.0,
+                 session_cache_capacity: int = 1024):
+        """``key_set`` enables batch RSA: the member keys are partitioned
+        round-robin into one disjoint sub-keyset per worker (see
+        :meth:`BatchRsaKeySet.partition`), so every worker's batch queue
+        -- and therefore every suspended-handshake continuation -- stays
+        worker-local.  Requires at least one member key per worker."""
+        if nworkers < 1:
+            raise ValueError("need at least one worker")
+        if topology not in TOPOLOGIES:
+            raise ValueError(f"unknown cache topology {topology!r}")
+        if isinstance(policy, str):
+            if policy not in POLICIES:
+                raise ValueError(f"unknown balancing policy {policy!r}")
+            policy = POLICIES[policy]()
+        self.nworkers = nworkers
+        self.topology = topology
+        self.policy = policy
+        if key is None or cert is None:
+            # Same derivation as WebServerSimulator's default, generated
+            # once and shared by every worker.
+            key, cert = make_server_identity(1024, seed=seed + b"-identity")
+        shared_cache = (SessionCache(session_cache_capacity)
+                        if topology == SHARED else None)
+        subsets: Optional[List[BatchRsaKeySet]] = None
+        if key_set is not None:
+            subsets = key_set.partition(nworkers)
+        self._pool = _SessionPool()
+        self._sims: List[WebServerSimulator] = []
+        for i in range(nworkers):
+            sim = WebServerSimulator(
+                suite=suite, key=key, cert=cert, costs=costs,
+                use_crt=use_crt, version=version, seed=seed,
+                key_set=subsets[i] if subsets is not None else None,
+                batch_size=batch_size, batch_timeout=batch_timeout,
+                session_cache=(shared_cache if shared_cache is not None
+                               else SessionCache(session_cache_capacity)),
+                session_lifetime=session_lifetime)
+            # Clients resume against whatever worker they land on next:
+            # the client-session pool is farm-global.
+            sim._client_sessions = self._pool
+            self._sims.append(sim)
+        self._shared_cache = shared_cache
+        self._states: List[_WorkerState] = []
+
+    # -- policy callbacks ---------------------------------------------------
+    def free_slots(self, worker: int) -> bool:
+        state = self._states[worker]
+        return len(state.active) < self._concurrency
+
+    def active_connections(self, worker: int) -> int:
+        return len(self._states[worker].active)
+
+    def offered_session(self, group: Sequence[Request],
+                        ) -> Optional[SslSession]:
+        """The session the next client for ``group`` would offer (the same
+        most-recent-session rule as ``_Transaction.__init__``)."""
+        if group[0].resumable and self._pool:
+            return self._pool[-1]
+        return None
+
+    def session_owner(self, session_id: bytes) -> Optional[int]:
+        return self._pool.owners.get(session_id)
+
+    def shard_caches(self) -> List[SessionCache]:
+        if self._shared_cache is not None:
+            return [self._shared_cache]
+        return [sim._session_cache for sim in self._sims]
+
+    # -- the experiment -----------------------------------------------------
+    def run(self, workload: RequestWorkload, nrequests: int,
+            requests_per_connection: int = 1,
+            concurrency_per_worker: int = 4) -> FarmResult:
+        """Process ``nrequests`` requests across the farm.
+
+        Scheduling interleaves the workers round by round: admit from the
+        global accept queue through the balancing policy, advance every
+        in-flight transaction of every worker one step, then tick each
+        worker's batch clock -- the exact per-worker mirror of
+        ``WebServerSimulator._run_concurrent`` (which is what makes the
+        N=1 farm bit-identical to the single simulator).
+        """
+        if requests_per_connection < 1:
+            raise ValueError("requests_per_connection must be >= 1")
+        if concurrency_per_worker < 1:
+            raise ValueError("concurrency_per_worker must be >= 1")
+        self._concurrency = concurrency_per_worker
+        groups: List[List[Request]] = []
+        batch: List[Request] = []
+        for request in workload.requests(nrequests):
+            batch.append(request)
+            if len(batch) == requests_per_connection:
+                groups.append(batch)
+                batch = []
+        if batch:
+            groups.append(batch)
+
+        self._states = [_WorkerState(i, sim)
+                        for i, sim in enumerate(self._sims)]
+        states = self._states
+        pending = deque(groups)
+        txn_id = 0
+        cross_resumed = 0
+
+        while pending or any(s.active for s in states):
+            # -- admission through the balancer -----------------------------
+            while pending:
+                worker = self.policy.select(self, pending[0])
+                if worker is None:
+                    break
+                state = states[worker]
+                offered = self.offered_session(pending[0])
+                self._pool.current_worker = worker
+                txn = _Transaction(state.sim, txn_id, pending.popleft(),
+                                   state.profiler, state.result)
+                txn._farm_offered_owner = (
+                    self._pool.owners.get(offered.session_id)
+                    if offered is not None else None)
+                state.active.append(txn)
+                txn_id += 1
+            # -- one scheduling round over every worker ----------------------
+            for state in states:
+                self._pool.current_worker = state.index
+                progressed = False
+                for txn in list(state.active):
+                    if txn.step():
+                        progressed = True
+                    if txn.done:
+                        state.active.remove(txn)
+                        owner = txn._farm_offered_owner
+                        if (txn.server.resumed and owner is not None
+                                and owner != state.index):
+                            cross_resumed += 1
+                batcher = state.sim._batcher
+                if batcher is not None:
+                    with perf.activate(state.profiler):
+                        batcher.tick()
+                        if not progressed and len(batcher):
+                            batcher.flush()
+                            progressed = True
+                if progressed:
+                    state.stalled = 0
+                    continue
+                state.stalled += 1
+                if state.stalled > 4:
+                    for txn in state.active:
+                        txn._fail()
+                    state.active.clear()
+
+        for state in states:
+            if state.sim._batcher is not None:
+                state.result.batches = dict(state.sim._batcher.batches)
+                state.result.batched_ops = state.sim._batcher.ops_submitted
+
+        shard_stats = []
+        if self._shared_cache is not None:
+            shard_stats.append({"shard": 0,
+                                "workers": list(range(self.nworkers)),
+                                **self._shared_cache.stats()})
+        else:
+            for i, sim in enumerate(self._sims):
+                shard_stats.append({"shard": i, "workers": [i],
+                                    **sim._session_cache.stats()})
+        return FarmResult(
+            nworkers=self.nworkers, topology=self.topology,
+            policy=self.policy.name,
+            results=[s.result for s in states],
+            shard_stats=shard_stats,
+            cross_worker_resumptions=cross_resumed)

@@ -43,6 +43,10 @@ class SimulationResult:
     bytes_served: int = 0
     resumed_handshakes: int = 0
     failures: int = 0
+    #: Transcript volume: wire bytes into + out of the server endpoint,
+    #: totalled over every connection at teardown.  The farm's N=1
+    #: bit-exactness check compares this alongside the cycle totals.
+    wire_bytes: int = 0
     #: Batch-size histogram from the handshake batcher ({size: flushes});
     #: empty when batching is off.
     batches: Dict[int, int] = field(default_factory=dict)
@@ -130,7 +134,9 @@ class _Transaction:
                 key, cert, suites=(sim._suite,),
                 session_cache=sim._session_cache,
                 rng=PseudoRandom(sim._seed + b"-s" + tag),
-                batcher=sim._batcher)
+                batcher=sim._batcher,
+                clock=server_prof.seconds,
+                session_lifetime=sim._session_lifetime)
         with perf.activate(self._client_prof):
             self.client = SslClient(suites=(sim._suite,), session=resume,
                                     version=sim._version,
@@ -147,7 +153,15 @@ class _Transaction:
         # and a transaction dying in CLOSING has already counted every
         # request as completed or failed.
         self._result.failures += len(self._requests)
+        self._account_wire()
         self.phase = _Transaction.DONE
+
+    def _account_wire(self) -> None:
+        """Fold the server endpoint's transcript bytes into the result."""
+        server = getattr(self, "server", None)
+        if server is not None:
+            self._result.wire_bytes += (server.stats.bytes_sent
+                                        + server.stats.bytes_received)
 
     def step(self) -> bool:
         """Advance one increment; returns True if any progress was made."""
@@ -219,6 +233,7 @@ class _Transaction:
             self.server.close()
         if self.client.session is not None:
             self._sim._client_sessions.append(self.client.session)
+        self._account_wire()
         self.phase = _Transaction.DONE
         return True
 
@@ -235,7 +250,9 @@ class WebServerSimulator:
                  seed: bytes = b"webserver",
                  key_set: Optional[BatchRsaKeySet] = None,
                  batch_size: Optional[int] = None,
-                 batch_timeout: int = 8):
+                 batch_timeout: int = 8,
+                 session_cache: Optional[SessionCache] = None,
+                 session_lifetime: float = 300.0):
         """``use_crt`` defaults to False: the paper's handshake
         measurements (Tables 1-3) are consistent with a non-CRT private
         operation; see DESIGN.md.  ``version`` is the protocol the
@@ -243,7 +260,12 @@ class WebServerSimulator:
         1.0).  ``key_set`` switches the server to batch RSA: connections
         are assigned member keys round-robin and their ClientKeyExchange
         decrypts amortize through one shared
-        :class:`~repro.ssl.server.HandshakeBatcher`."""
+        :class:`~repro.ssl.server.HandshakeBatcher`.  ``session_cache``
+        injects an externally owned cache (the farm's shared topology
+        hands one cache to every worker); by default each simulator owns a
+        private one.  ``session_lifetime`` bounds minted sessions in
+        virtual seconds -- lookups check it against the server profiler's
+        :meth:`~repro.perf.Profiler.seconds` clock."""
         if key is None or cert is None:
             key, cert = make_server_identity(1024, seed=seed + b"-identity")
         key.use_crt = use_crt
@@ -253,7 +275,9 @@ class WebServerSimulator:
         self._costs = costs
         self._version = version
         self._seed = seed
-        self._session_cache = SessionCache()
+        self._session_cache = (session_cache if session_cache is not None
+                               else SessionCache())
+        self._session_lifetime = session_lifetime
         self._client_sessions: List[SslSession] = []
         self._batcher: Optional[HandshakeBatcher] = None
         self._identities: List[tuple] = [(key, cert)]
@@ -270,7 +294,8 @@ class WebServerSimulator:
     # -- one connection (one or more requests) ----------------------------------
     def _run_connection(self, requests: List[Request],
                         server_prof: perf.Profiler,
-                        result: SimulationResult) -> None:
+                        result: SimulationResult,
+                        tag: bytes = b"") -> None:
         client_prof = perf.Profiler()  # client machine: separate, discarded
         total_kb = sum(r.size_bytes for r in requests) / 1024.0
 
@@ -288,15 +313,19 @@ class WebServerSimulator:
         with perf.activate(server_prof):
             server = SslServer(self._key, self._cert, suites=(self._suite,),
                                session_cache=self._session_cache,
-                               rng=PseudoRandom(self._seed + b"-s"))
+                               rng=PseudoRandom(self._seed + b"-s" + tag),
+                               clock=server_prof.seconds,
+                               session_lifetime=self._session_lifetime)
         with perf.activate(client_prof):
             client = SslClient(suites=(self._suite,), session=resume,
                                version=self._version,
-                               rng=PseudoRandom(self._seed + b"-c"))
+                               rng=PseudoRandom(self._seed + b"-c" + tag))
             client.start_handshake()
         pump(client, server, client_prof, server_prof)
         if not server.handshake_complete:
             result.failures += len(requests)
+            result.wire_bytes += (server.stats.bytes_sent
+                                  + server.stats.bytes_received)
             return
         if server.resumed:
             result.resumed_handshakes += 1
@@ -328,6 +357,8 @@ class WebServerSimulator:
         with perf.activate(server_prof):
             server.receive(wire)
             server.close()
+        result.wire_bytes += (server.stats.bytes_sent
+                              + server.stats.bytes_received)
 
         if client.session is not None:
             self._client_sessions.append(client.session)
@@ -370,8 +401,12 @@ class WebServerSimulator:
         if concurrency > 1 or self._batcher is not None:
             self._run_concurrent(groups, server_prof, result, concurrency)
         else:
-            for group in groups:
-                self._run_connection(group, server_prof, result)
+            # Per-connection rng tags, exactly like the concurrent path's
+            # transaction ids: reusing one seed across connections lets a
+            # fresh server re-mint the very session id it just declined.
+            for i, group in enumerate(groups):
+                self._run_connection(group, server_prof, result,
+                                     tag=str(i).encode())
         if self._batcher is not None:
             result.batches = dict(self._batcher.batches)
             result.batched_ops = self._batcher.ops_submitted

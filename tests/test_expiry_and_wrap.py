@@ -1,0 +1,217 @@
+"""Regression tests: session expiry, sequence-number wrap, cache stats.
+
+Three bugs fixed together with the farm work:
+
+* session lifetimes were minted but never consulted -- ``SessionCache.get``
+  now takes the caller's virtual clock and drops expired entries;
+* the record layer's 64-bit sequence numbers silently wrapped -- reuse of
+  a MAC sequence number is a keystream/MAC catastrophe, so hitting the cap
+  is now a fatal :class:`SequenceOverflow` on both the seal and open paths
+  (testable via an injectable lowered cap);
+* cache churn was invisible -- every early-removal path now feeds one
+  ``evictions`` counter surfaced through :meth:`SessionCache.stats`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rand import PseudoRandom
+from repro.ssl import kdf
+from repro.ssl.ciphersuites import DEFAULT_SUITE, RC4_MD5
+from repro.ssl.client import SslClient
+from repro.ssl.errors import AlertError, SequenceOverflow, SslError
+from repro.ssl.loopback import pump
+from repro.ssl.record import ConnectionState, ContentType, KeyMaterial
+from repro.ssl.server import SslServer
+from repro.ssl.session import SessionCache, SslSession
+from repro.webserver import RequestWorkload, WebServerSimulator
+from repro import perf
+
+
+def secret(tag: bytes) -> bytes:
+    return (tag * 48)[:48]
+
+
+def make_session(sid: bytes, created_at: float = 0.0,
+                 lifetime: float = 300.0) -> SslSession:
+    return SslSession(session_id=sid, cipher_suite_id=RC4_MD5.suite_id,
+                      master_secret=secret(b"m"), created_at=created_at,
+                      lifetime=lifetime)
+
+
+# ---------------------------------------------------------------------------
+# Session expiry through the server
+# ---------------------------------------------------------------------------
+
+class TestServerSessionExpiry:
+    def handshake(self, identity, cache, clock_value, session=None,
+                  tag=b"x"):
+        """One pumped handshake against a server whose clock is frozen."""
+        key, cert = identity
+        server = SslServer(key, cert, suites=(DEFAULT_SUITE,),
+                           session_cache=cache,
+                           rng=PseudoRandom(b"expiry-s" + tag),
+                           clock=lambda: clock_value,
+                           session_lifetime=300.0)
+        client = SslClient(suites=(DEFAULT_SUITE,), session=session,
+                           rng=PseudoRandom(b"expiry-c" + tag))
+        client.start_handshake()
+        pump(client, server, perf.Profiler(), perf.Profiler())
+        assert server.handshake_complete and client.handshake_complete
+        return server, client
+
+    def test_session_expires_after_lifetime(self, identity512):
+        cache = SessionCache()
+        # Mint at t=0: a 300 s lifetime session enters the cache.
+        _, client = self.handshake(identity512, cache, 0.0, tag=b"0")
+        session = client.session
+        assert session is not None
+        assert cache.get(session.session_id, now=0.0) is not None
+
+        # t=100: within the lifetime -- the abbreviated handshake works.
+        server, _ = self.handshake(identity512, cache, 100.0,
+                                   session=session, tag=b"1")
+        assert server.resumed
+
+        # t=450: the workload outlived the 300 s lifetime.  Pre-fix the
+        # stale session would still resume (lifetime was never consulted);
+        # now the lookup drops it and a full handshake runs.
+        evictions_before = cache.evictions
+        server, _ = self.handshake(identity512, cache, 450.0,
+                                   session=session, tag=b"2")
+        assert not server.resumed
+        assert cache.evictions == evictions_before + 1
+
+    def test_no_clock_means_no_expiry(self, identity512):
+        """Without a modelled clock the old deterministic behavior holds."""
+        key, cert = identity512
+        cache = SessionCache()
+        cache.put(make_session(b"\x01" * 32, created_at=0.0, lifetime=1.0))
+        server = SslServer(key, cert, suites=(DEFAULT_SUITE,),
+                           session_cache=cache,
+                           rng=PseudoRandom(b"noclock"))
+        assert server._clock is None
+        # The cache keeps even an ancient session when now is omitted.
+        assert cache.get(b"\x01" * 32) is not None
+
+    def test_simulator_expiry_end_to_end(self, identity512):
+        """A tiny virtual lifetime kills resumption inside the simulator."""
+        key, cert = identity512
+
+        def run(lifetime):
+            sim = WebServerSimulator(key=key, cert=cert,
+                                     session_lifetime=lifetime)
+            wl = RequestWorkload.fixed(1024, resumption_rate=1.0)
+            return sim.run(wl, 4)
+
+        fresh = run(300.0)
+        assert fresh.resumed_handshakes >= 1
+        # Sub-cycle lifetime: every minted session is already expired by
+        # the time the next connection's lookup reads the virtual clock.
+        expired = run(1e-9)
+        assert expired.resumed_handshakes == 0
+        assert expired.failures == 0  # expired sessions fall back cleanly
+
+
+# ---------------------------------------------------------------------------
+# Sequence-number wrap
+# ---------------------------------------------------------------------------
+
+def make_state_pair(seq_cap):
+    suite = RC4_MD5
+    need = suite.key_material_length() // 2
+    block = kdf.derive(bytes(48), b"wrap-test".ljust(32, b"\0"), bytes(32),
+                       suite.key_material_length())
+    material = KeyMaterial(
+        mac_secret=block[:suite.mac_key_len],
+        key=block[suite.mac_key_len:suite.mac_key_len + suite.key_len],
+        iv=block[need - suite.iv_len:need],
+    )
+    tx = ConnectionState(suite, material, seq_cap=seq_cap)
+    rx = ConnectionState(suite, KeyMaterial(material.mac_secret,
+                                            material.key, material.iv),
+                         seq_cap=seq_cap)
+    return tx, rx
+
+
+class TestSequenceWrap:
+    def test_seal_raises_at_cap(self):
+        tx, _ = make_state_pair(seq_cap=3)
+        for _ in range(3):
+            tx.seal(ContentType.APPLICATION_DATA, b"data")
+        with pytest.raises(SequenceOverflow):
+            tx.seal(ContentType.APPLICATION_DATA, b"data")
+        # The counter must not advance past the cap: the state is dead.
+        assert tx.seq_num == 3
+
+    def test_open_raises_at_cap(self):
+        tx, rx = make_state_pair(seq_cap=3)
+        bodies = [tx.seal(ContentType.APPLICATION_DATA, b"data")
+                  for _ in range(3)]
+        for body in bodies:
+            assert rx.open(ContentType.APPLICATION_DATA, body) == b"data"
+        with pytest.raises(SequenceOverflow):
+            rx.open(ContentType.APPLICATION_DATA, bodies[0])
+        assert rx.seq_num == 3
+
+    def test_overflow_is_fatal_not_alertable(self):
+        # Sending an alert would itself seal a record with the exhausted
+        # counter, so the overflow must bypass the alert machinery.
+        assert issubclass(SequenceOverflow, SslError)
+        assert not issubclass(SequenceOverflow, AlertError)
+
+    def test_default_cap_is_2_64(self):
+        tx, _ = make_state_pair(seq_cap=ConnectionState.SEQ_NUM_CAP)
+        assert tx.seq_cap == 1 << 64
+        tx.seq_num = (1 << 64) - 1
+        tx.seal(ContentType.APPLICATION_DATA, b"last one")
+        with pytest.raises(SequenceOverflow):
+            tx.seal(ContentType.APPLICATION_DATA, b"wrapped")
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            make_state_pair(seq_cap=0)
+        with pytest.raises(ValueError):
+            make_state_pair(seq_cap=(1 << 64) + 1)
+
+
+# ---------------------------------------------------------------------------
+# Unified cache statistics
+# ---------------------------------------------------------------------------
+
+class TestCacheStats:
+    def test_capacity_eviction_counted(self):
+        cache = SessionCache(capacity=2)
+        for i in range(1, 4):
+            cache.put(make_session(bytes([i]) * 32))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(b"\x01" * 32) is None  # LRU victim
+        assert cache.misses == 1
+
+    def test_expired_lookup_counted_as_miss_and_eviction(self):
+        cache = SessionCache()
+        cache.put(make_session(b"\x05" * 32, created_at=0.0, lifetime=10.0))
+        assert cache.get(b"\x05" * 32, now=5.0) is not None
+        assert cache.hits == 1
+        assert cache.get(b"\x05" * 32, now=20.0) is None
+        assert cache.misses == 1
+        assert cache.evictions == 1
+        assert len(cache) == 0
+
+    def test_purge_expired_counted(self):
+        cache = SessionCache()
+        cache.put(make_session(b"\x06" * 32, created_at=0.0, lifetime=10.0))
+        cache.put(make_session(b"\x07" * 32, created_at=0.0, lifetime=99.0))
+        assert cache.purge_expired(now=50.0) == 1
+        assert cache.evictions == 1
+        assert len(cache) == 1
+
+    def test_stats_snapshot(self):
+        cache = SessionCache(capacity=8)
+        cache.put(make_session(b"\x08" * 32))
+        cache.get(b"\x08" * 32)
+        cache.get(b"\x09" * 32)
+        assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0,
+                                 "size": 1, "capacity": 8}

@@ -1,0 +1,264 @@
+"""Sharded server farm: N=1 bit-exactness, topologies, balancing policies.
+
+The farm's core invariant (DESIGN.md): a one-worker farm is *bit-identical*
+to ``WebServerSimulator.run(..., concurrency=k)`` -- cycle totals, full
+charge stream, transcript bytes.  The remaining tests pin the sharding
+semantics: cross-worker resumption works under the shared cache topology
+and misses under the partitioned one, session-affinity routing recovers
+the partitioned misses, and batch-RSA continuations stay worker-local.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.batch_rsa import BatchRsaError, generate_batch_keys
+from repro.crypto.rand import PseudoRandom
+from repro.webserver import (
+    PARTITIONED, POLICIES, SHARED,
+    RequestWorkload, RoundRobinPolicy, ServerFarm, WebServerSimulator,
+    farm_requests_per_second,
+)
+
+from tests.test_fastpath_equivalence import snapshot
+
+
+@pytest.fixture(scope="module")
+def batch_keys():
+    return generate_batch_keys(512, 4, rng=PseudoRandom(b"farm-batch"))
+
+
+def workload(resumption_rate=0.5, size=2048):
+    """Fresh builder per run: the workload RNG is stateful across calls."""
+    return RequestWorkload.fixed(size, resumption_rate=resumption_rate)
+
+
+# ---------------------------------------------------------------------------
+# N=1 bit-exactness
+# ---------------------------------------------------------------------------
+
+class TestSingleWorkerEquivalence:
+    def test_bit_identical_to_simulator(self, identity512):
+        key, cert = identity512
+        # Warmup: the first run through a key lazily builds and caches its
+        # Montgomery contexts, charging setup cycles later runs skip.
+        WebServerSimulator(key=key, cert=cert).run(workload(), 2,
+                                                   concurrency=2)
+
+        base_sim = WebServerSimulator(key=key, cert=cert)
+        base = base_sim.run(workload(), 6, concurrency=3)
+
+        farm = ServerFarm(1, key=key, cert=cert)
+        fr = farm.run(workload(), 6, concurrency_per_worker=3)
+        worker = fr.results[0]
+
+        assert snapshot(worker.profiler) == snapshot(base.profiler)
+        assert worker.wire_bytes == base.wire_bytes
+        assert worker.requests_completed == base.requests_completed
+        assert worker.resumed_handshakes == base.resumed_handshakes
+        assert worker.failures == base.failures
+        assert worker.bytes_served == base.bytes_served
+        assert fr.cross_worker_resumptions == 0
+
+    def test_bit_identical_with_batching(self, batch_keys):
+        base_sim = WebServerSimulator(key_set=batch_keys, batch_size=3)
+        base_sim.run(workload(0.0), 2, concurrency=2)  # warmup
+
+        base_sim = WebServerSimulator(key_set=batch_keys, batch_size=3)
+        base = base_sim.run(workload(0.0), 6, concurrency=3)
+
+        farm = ServerFarm(1, key_set=batch_keys, batch_size=3)
+        fr = farm.run(workload(0.0), 6, concurrency_per_worker=3)
+        worker = fr.results[0]
+
+        assert snapshot(worker.profiler) == snapshot(base.profiler)
+        assert worker.wire_bytes == base.wire_bytes
+        assert worker.batched_ops == base.batched_ops
+        assert worker.batches == base.batches
+        assert base.batched_ops > 0
+
+    def test_farm_aggregates_match_single_worker(self, identity512):
+        key, cert = identity512
+        fr = ServerFarm(1, key=key, cert=cert).run(workload(), 4)
+        assert fr.requests_completed == fr.results[0].requests_completed
+        assert fr.wire_bytes == fr.results[0].wire_bytes
+        assert fr.total_cycles() == fr.results[0].profiler.total_cycles()
+        assert fr.makespan_seconds() == fr.results[0].profiler.seconds()
+
+
+# ---------------------------------------------------------------------------
+# Cache topologies and cross-worker resumption
+# ---------------------------------------------------------------------------
+
+class TestTopologies:
+    def run_farm(self, identity, topology, policy="round-robin"):
+        key, cert = identity
+        farm = ServerFarm(2, topology=topology, policy=policy,
+                          key=key, cert=cert)
+        result = farm.run(workload(resumption_rate=1.0), 4,
+                          concurrency_per_worker=1)
+        return farm, result
+
+    def test_shared_cache_resumes_across_workers(self, identity512):
+        _, result = self.run_farm(identity512, SHARED)
+        # txn2 offers the session minted on worker 1 but lands on worker
+        # 0: with one shared cache it still resumes.
+        assert result.cross_worker_resumptions >= 1
+        assert result.resumed_handshakes >= 2
+        assert result.failures == 0
+        assert len(result.shard_stats) == 1
+        assert result.shard_stats[0]["workers"] == [0, 1]
+        assert result.shard_stats[0]["hits"] == result.resumed_handshakes
+
+    def test_partitioned_cache_misses_across_workers(self, identity512):
+        _, result = self.run_farm(identity512, PARTITIONED)
+        # The same cross-worker presentation now misses worker 0's private
+        # shard and pays a full handshake.
+        assert result.cross_worker_resumptions == 0
+        assert result.failures == 0
+        assert len(result.shard_stats) == 2
+        assert sum(s["misses"] for s in result.shard_stats) >= 1
+
+    def test_affinity_recovers_partitioned_misses(self, identity512):
+        _, round_robin = self.run_farm(identity512, PARTITIONED)
+        _, affinity = self.run_farm(identity512, PARTITIONED,
+                                    policy="session-affinity")
+        # Sticky routing sends resuming clients back to the shard that
+        # minted their session, so no resumption is lost to partitioning.
+        assert (affinity.resumed_handshakes
+                > round_robin.resumed_handshakes)
+        assert affinity.cross_worker_resumptions == 0
+        assert affinity.failures == 0
+
+    def test_partitioned_shards_are_private(self, identity512):
+        key, cert = identity512
+        farm = ServerFarm(2, topology=PARTITIONED, key=key, cert=cert)
+        farm.run(workload(resumption_rate=0.0), 4,
+                 concurrency_per_worker=1)
+        caches = farm.shard_caches()
+        assert len(caches) == 2
+        assert caches[0] is not caches[1]
+        ids = [set(c._entries) for c in caches]
+        assert not (ids[0] & ids[1])
+
+    def test_shared_topology_uses_one_cache(self, identity512):
+        key, cert = identity512
+        farm = ServerFarm(3, topology=SHARED, key=key, cert=cert)
+        caches = farm.shard_caches()
+        assert len(caches) == 1
+        assert all(sim._session_cache is caches[0]
+                   for sim in farm._sims)
+
+
+# ---------------------------------------------------------------------------
+# Balancing policies
+# ---------------------------------------------------------------------------
+
+class TestPolicies:
+    def test_registry(self):
+        assert set(POLICIES) == {"round-robin", "least-connections",
+                                 "session-affinity"}
+
+    def test_round_robin_spreads_work(self, identity512):
+        key, cert = identity512
+        farm = ServerFarm(2, key=key, cert=cert)
+        result = farm.run(workload(0.0), 6, concurrency_per_worker=2)
+        assert [r.requests_completed for r in result.results] == [3, 3]
+
+    def test_least_connections_spreads_work(self, identity512):
+        key, cert = identity512
+        farm = ServerFarm(2, policy="least-connections", key=key, cert=cert)
+        result = farm.run(workload(0.0), 6, concurrency_per_worker=2)
+        assert result.requests_completed == 6
+        assert all(r.requests_completed > 0 for r in result.results)
+
+    def test_policy_instance_accepted(self, identity512):
+        key, cert = identity512
+        farm = ServerFarm(2, policy=RoundRobinPolicy(), key=key, cert=cert)
+        result = farm.run(workload(0.0), 2, concurrency_per_worker=1)
+        assert result.policy == "round-robin"
+        assert result.requests_completed == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerFarm(0)
+        with pytest.raises(ValueError):
+            ServerFarm(1, topology="replicated")
+        with pytest.raises(ValueError):
+            ServerFarm(1, policy="random")
+
+
+# ---------------------------------------------------------------------------
+# Batch RSA sharding
+# ---------------------------------------------------------------------------
+
+class TestFarmBatching:
+    def test_continuations_stay_worker_local(self, batch_keys):
+        farm = ServerFarm(2, key_set=batch_keys, batch_size=2)
+        result = farm.run(workload(0.0), 8, concurrency_per_worker=2)
+        assert result.failures == 0
+        assert result.requests_completed == 8
+        # Every worker ran its own queue: each one's batched decrypts
+        # equal its own completed full handshakes -- nothing crossed over.
+        for r in result.results:
+            assert r.batched_ops == r.requests_completed
+        assert result.batched_ops == 8
+        assert sum(size * count
+                   for size, count in result.batch_histogram().items()) == 8
+
+    def test_keyset_partition_disjoint(self, batch_keys):
+        subsets = batch_keys.partition(2)
+        assert [len(s) for s in subsets] == [2, 2]
+        seen = set()
+        for subset in subsets:
+            for member in subset.members:
+                assert id(member) not in seen
+                seen.add(id(member))
+        assert len(seen) == len(batch_keys)
+
+    def test_keyset_partition_validation(self, batch_keys):
+        with pytest.raises(BatchRsaError):
+            batch_keys.partition(0)
+        with pytest.raises(BatchRsaError):
+            batch_keys.partition(5)  # only 4 members
+
+    def test_more_workers_than_member_keys_rejected(self, batch_keys):
+        with pytest.raises(BatchRsaError):
+            ServerFarm(5, key_set=batch_keys)
+
+
+# ---------------------------------------------------------------------------
+# Farm-level metrics
+# ---------------------------------------------------------------------------
+
+class TestFarmMetrics:
+    def test_capacity_and_merged_profile(self, identity512):
+        key, cert = identity512
+        fr = ServerFarm(2, key=key, cert=cert).run(
+            workload(), 6, concurrency_per_worker=2)
+        assert fr.capacity_rps() > 0
+        assert fr.analytic_capacity_rps() > 0
+        merged = fr.merged_profiler()
+        assert merged.total_cycles() == pytest.approx(fr.total_cycles())
+        shares = fr.module_shares()
+        assert shares
+        assert sum(shares.values()) == pytest.approx(1.0)
+        stats = fr.worker_stats()
+        assert [w.worker for w in stats] == [0, 1]
+        assert all(w.cycles > 0 for w in stats)
+
+    def test_farm_requests_per_second(self):
+        # Two workers at 1e9 cycles for 10 requests each on a 1e9 Hz CPU
+        # would each serve 10 rps.
+        from repro.perf import CpuModel
+        cpu = CpuModel(name="unit", frequency_hz=1e9)
+        assert farm_requests_per_second(
+            [1e9, 1e9], [10, 10], cpu) == pytest.approx(20.0)
+        assert farm_requests_per_second([1e9, 0.0], [10, 0],
+                                        cpu) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            farm_requests_per_second([1e9], [10, 10], cpu)
+        with pytest.raises(ValueError):
+            farm_requests_per_second([], [], cpu)
+        with pytest.raises(ValueError):
+            farm_requests_per_second([-1.0], [1], cpu)
