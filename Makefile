@@ -5,7 +5,8 @@
 
 PY_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test check bench bench-host bench-farm examples artifacts all
+.PHONY: install test check bench bench-host bench-farm perf-gate \
+	perf-baseline lint examples artifacts all
 
 install:
 	pip install -e .
@@ -29,6 +30,26 @@ bench-host:
 # writes BENCH_farm_scaling.json at the repository root.
 bench-farm:
 	$(PY_ENV) python benchmarks/bench_farm_scaling.py
+
+# Golden-cycle regression gate: re-captures every registered scenario and
+# requires an exact match against the committed baselines/*.json.  CI runs
+# this under both REPRO_FASTPATH=1 and =0; the report file is uploaded as
+# an artifact when the gate fails.
+perf-gate:
+	$(PY_ENV) python -m repro.tools.perfgate --check --report perf_gate_report.txt
+
+# Re-record the baselines after an *intentional* modeled-cost change.
+# Commit the resulting baselines/*.json diff alongside the change and call
+# out the moved tables in the PR description.
+perf-baseline:
+	$(PY_ENV) python -m repro.tools.perfgate --record
+
+# Mirrors CI's lint job.  ruff is optional locally (the container image
+# may not carry it); compileall is the no-dependency floor.
+lint:
+	python -m compileall -q src
+	@command -v ruff >/dev/null 2>&1 && ruff check . \
+		|| echo "ruff not installed; skipped (CI runs it)"
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PY_ENV) python $$ex > /dev/null && echo OK; done

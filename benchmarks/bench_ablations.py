@@ -10,9 +10,6 @@ text turns on qualitatively:
 * cipher-suite choice for the bulk phase.
 """
 
-import pytest
-
-from repro import perf
 from repro.crypto.bench import measure_rsa
 from repro.crypto.rand import PseudoRandom
 from repro.perf import format_table

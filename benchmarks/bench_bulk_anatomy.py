@@ -7,7 +7,6 @@ private-key encryption, the MAC hashing, and record-layer bookkeeping.
 """
 
 from repro import perf
-from repro.crypto.rand import PseudoRandom
 from repro.perf import format_table, percent
 from repro.ssl import kdf
 from repro.ssl.ciphersuites import (

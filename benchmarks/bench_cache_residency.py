@@ -9,7 +9,7 @@ stop fitting.
 """
 
 from repro.perf import format_table, percent
-from repro.perf.cachesim import SetAssociativeCache, STREAMS, residency
+from repro.perf.cachesim import SetAssociativeCache, residency
 
 KERNELS = ("aes", "des", "3des", "rc4", "md5", "sha1", "rsa")
 CACHES = ((8192, "8 KB (P4 L1D)"), (4096, "4 KB"), (2048, "2 KB"))

@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import pathlib
 
+from repro.perf.baseline import write_json
 from repro.ssl.loopback import make_server_identity
 from repro.webserver import (
     PARTITIONED, SHARED, RequestWorkload, ServerFarm,
@@ -126,7 +127,10 @@ def main() -> dict:
         "points": points,
         "monotone": monotone,
     }
-    OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
+    # Canonical writer: modeled virtual time is fully deterministic, so a
+    # regenerated artifact is byte-identical to the committed one unless a
+    # modeled cost actually changed.
+    write_json(OUT_PATH, out)
     print(f"\nwrote {OUT_PATH}")
     return out
 

@@ -9,7 +9,6 @@ CertificateRequest), and their reappearance under a DHE suite.
 
 from repro import perf
 from repro.crypto.rand import PseudoRandom
-from repro.perf import format_table
 from repro.ssl import DES_CBC3_SHA, SslClient, SslServer
 from repro.ssl.ciphersuites import EDH_RSA_DES_CBC3_SHA
 from repro.ssl.trace import WireTracer, format_trace

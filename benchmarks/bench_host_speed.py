@@ -30,6 +30,7 @@ import time
 
 from repro import runtime
 from repro.crypto import rsa
+from repro.perf.baseline import write_json
 from repro.ssl.ciphersuites import DES_CBC3_SHA, RC4_MD5
 from repro.ssl.loopback import make_server_identity, run_session
 
@@ -98,7 +99,10 @@ def main() -> dict:
             "speedup": faithful_bulk / fast_bulk,
         }
 
-    OUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    # Canonical writer (sorted keys, stable float text, trailing newline):
+    # regenerating the artifact yields a clean diff against the committed
+    # copy even though the wall-clock *values* vary run to run.
+    write_json(OUT_PATH, results)
     return results
 
 

@@ -6,7 +6,6 @@ with a non-CRT private operation (see DESIGN.md), which is the mode used
 here; the CRT mode appears in the Table 7 benchmark.
 """
 
-from repro import perf
 from repro.perf import format_table, kcycles
 from repro.ssl import DES_CBC3_SHA
 from repro.ssl.loopback import profiled_handshake

@@ -4,7 +4,6 @@ Paper values: public key 90.4%, private key 0.1%, hashing 2.8%, other
 1.7% -- crypto in total 95.0% of SSL handshake processing.
 """
 
-from repro import perf
 from repro.perf import format_table, percent
 from repro.perf.categories import crypto_breakdown
 from repro.ssl import DES_CBC3_SHA

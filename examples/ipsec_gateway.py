@@ -10,7 +10,6 @@ and compares the per-byte protection cost with an SSL record stream.
 """
 
 from repro import perf
-from repro.crypto.rand import PseudoRandom
 from repro.ipsec import (
     ESP_3DES_SHA1, ESP_AES128_SHA1, ReplayError, establish_tunnel,
 )

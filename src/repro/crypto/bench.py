@@ -19,8 +19,8 @@ a fresh profiler and extracts the quantities the paper reports --
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from .. import perf
 from ..perf import CpuModel, PENTIUM4, Profiler

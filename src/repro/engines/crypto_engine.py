@@ -20,7 +20,7 @@ Two levels of modelling:
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..perf import CpuModel, PENTIUM4

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from ..perf import CATEGORY, CpuModel, InstrMix, PENTIUM4
+from ..perf import CpuModel, InstrMix, PENTIUM4
 
 _LOGICAL = ("xorl", "andl", "orl", "notl")
 

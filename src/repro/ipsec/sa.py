@@ -16,7 +16,7 @@ sliding anti-replay window.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Union
+from typing import Optional
 
 from ..crypto.aes import AES
 from ..crypto.des import TripleDES

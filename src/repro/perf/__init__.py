@@ -3,6 +3,10 @@
 See DESIGN.md, "The central substitution: architectural profiling".
 """
 
+from .baseline import (
+    Drift, canonical, canonical_json, capture, diff_signatures, load_json,
+    write_json,
+)
 from .cpu import CpuModel, DEFAULT_COSTS, PENTIUM3, PENTIUM4, WIDE_CORE
 from .isa import CATEGORY, I, InstrMix, MixAccumulator, mix
 from .profiler import (
@@ -19,6 +23,8 @@ from .trace import merge_profilers, profile_trace, synthesize_trace, \
     trace_to_text
 
 __all__ = [
+    "Drift", "canonical", "canonical_json", "capture", "diff_signatures",
+    "load_json", "write_json",
     "CpuModel", "PENTIUM3", "PENTIUM4", "WIDE_CORE", "DEFAULT_COSTS",
     "CATEGORY", "I", "InstrMix", "MixAccumulator", "mix",
     "HTTPD", "LIBCRYPTO", "LIBSSL", "OTHER", "VMLINUX",

@@ -17,7 +17,7 @@ breaks AES's four 1 KB tables).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List
+from typing import Iterator, List
 
 # ---------------------------------------------------------------------------
 # The cache model

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from .profiler import LIBCRYPTO, LIBSSL, Profiler
+from .profiler import LIBCRYPTO, Profiler
 
 PUBLIC = "public"
 PRIVATE = "private"

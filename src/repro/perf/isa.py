@@ -16,7 +16,7 @@ with :func:`mix`.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List, Tuple
 
 
 class I:

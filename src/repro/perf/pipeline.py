@@ -27,9 +27,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import cycle as _cycle
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
-from .isa import CATEGORY, I, InstrMix
+from .isa import CATEGORY, InstrMix
 from .trace import synthesize_trace
 
 #: Completion latencies (cycles from issue to result availability) for a

@@ -16,7 +16,6 @@ from typing import Optional, Sequence
 
 from .. import perf
 from ..crypto.rand import PseudoRandom
-from . import kdf
 from .ciphersuites import ALL_SUITES, BY_ID, CipherSuite
 from .connection import SslConnection
 from .errors import BadCertificate, HandshakeFailure, UnexpectedMessage

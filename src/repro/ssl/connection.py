@@ -15,7 +15,7 @@ manages application data once the handshake completes.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
 from .. import perf
 from ..crypto.md5 import MD5

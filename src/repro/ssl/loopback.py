@@ -11,8 +11,8 @@ optionally transfers bulk data, and exposes the per-side profilers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional
 
 from .. import perf
 from ..crypto.rand import PseudoRandom

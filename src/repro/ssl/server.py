@@ -35,7 +35,7 @@ from ..crypto.batch_rsa import BatchRsaDecryptor, BatchRsaKeySet
 from ..crypto.rand import PseudoRandom
 from ..crypto.rsa import RsaError, RsaPrivateKey
 from . import kdf
-from .ciphersuites import ALL_SUITES, BY_ID, CipherSuite, lookup
+from .ciphersuites import ALL_SUITES, BY_ID, CipherSuite
 from .connection import SSL_CLEANUP, SslConnection
 from .errors import HandshakeFailure, SslError, UnexpectedMessage
 from ..bignum import BigNum
@@ -46,7 +46,6 @@ from .codec import ByteReader
 from .handshake import (
     ClientHello, ClientKeyExchange, Finished, HandshakeType, HelloRequest,
     ServerHello, ServerHelloDone, ServerKeyExchange, CertificateMsg,
-    parse_message,
 )
 from ..perf import charge, mix
 from .record import ContentType

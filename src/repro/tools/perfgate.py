@@ -1,0 +1,443 @@
+"""Golden-cycle performance-regression gate.
+
+Records and checks deterministic baseline signatures (see
+:mod:`repro.perf.baseline`) for a registry of named scenarios, one per
+paper table plus the resumption / batch-RSA / farm workloads layered on
+top of the paper.  Because every modeled quantity in the reproduction is
+deterministic -- the fast path charges bit-identical cycles to the
+faithful loops -- the default comparison is *exact*: any drift in a
+cycle total, a region breakdown or the instruction-mix histogram fails
+the gate and names the leaf that moved.
+
+    python -m repro.tools.perfgate --list
+    python -m repro.tools.perfgate --record            # refresh baselines/
+    python -m repro.tools.perfgate --check             # CI gate
+    python -m repro.tools.perfgate --check --report perf_gate_report.txt
+    python -m repro.tools.perfgate --check --tolerance 1e-6
+    python -m repro.tools.perfgate --diff a.json b.json
+    python -m repro.tools.perfgate --record handshake_sslv3  # one scenario
+
+Run it from the repository root (or pass ``--baseline-dir``); ``make
+perf-gate`` / ``make perf-baseline`` wrap the two common invocations.
+CI runs ``--check`` under both ``REPRO_FASTPATH=1`` and ``=0`` against
+the *same* committed baselines, so a divergence between the two host
+backends fails the build even if both drifted consistently from within
+one backend's point of view.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .. import perf, runtime
+from ..crypto import rsa
+from ..perf import baseline
+from ..perf.profiler import Profiler
+
+DEFAULT_BASELINE_DIR = Path("baselines")
+
+#: Per-section relative tolerances layered over the CLI default.  Empty on
+#: purpose: every quantity a signature captures is deterministic, so exact
+#: match is the correct default everywhere.  Entries would look like
+#: ``{"instruction_mix": 1e-9}`` and should be accompanied by a comment
+#: explaining which nondeterminism they forgive.
+SECTION_TOLERANCES: Dict[str, float] = {}
+
+
+# ---------------------------------------------------------------------------
+# Scenario registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named deterministic workload whose signature gets pinned."""
+
+    name: str
+    table: str          # paper table / experiment this guards
+    description: str
+    run: Callable[[], Tuple[Profiler, Dict[str, Any]]]
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def scenario(name: str, table: str, description: str):
+    def register(fn):
+        SCENARIOS[name] = Scenario(name, table, description, fn)
+        return fn
+    return register
+
+
+def _identity(bits: int = 512, seed: bytes = b"perfgate"):
+    """A deterministic server identity built outside the captured profiler
+    (key generation is not part of any paper table's steady state)."""
+    from ..ssl.loopback import make_server_identity
+    with perf.activate(Profiler()):
+        return make_server_identity(bits, seed=seed)
+
+
+def _session_signature(result) -> Tuple[Profiler, Dict[str, Any]]:
+    """Server-side profiler + transcript metrics of a loopback run."""
+    stats = result.server.stats
+    return result.server_profiler, {
+        "wire_bytes_sent": stats.bytes_sent,
+        "wire_bytes_received": stats.bytes_received,
+        "handshake_flights": result.handshake_flights,
+        "echoed_bytes": len(result.echoed),
+        "resumed": bool(result.server.resumed),
+    }
+
+
+@scenario("webserver_https", "Table 1",
+          "Full HTTPS transactions through the Apache/Linux cost model")
+def _webserver_https():
+    from ..webserver.simulator import run_experiment
+    key, cert = _identity(seed=b"pg-webserver")
+    result = run_experiment(4096, nrequests=2, use_crt=False,
+                            key=key, cert=cert)
+    return result.profiler, {
+        "requests_completed": result.requests_completed,
+        "bytes_served": result.bytes_served,
+        "wire_bytes": result.wire_bytes,
+        "failures": result.failures,
+    }
+
+
+@scenario("handshake_sslv3", "Table 2",
+          "SSLv3 DES-CBC3-SHA handshake, non-CRT private key")
+def _handshake_sslv3():
+    from ..ssl import DES_CBC3_SHA
+    from ..ssl.loopback import run_session
+    key, cert = _identity(seed=b"pg-hs-sslv3")
+    result = run_session(b"", suite=DES_CBC3_SHA, key=key, cert=cert,
+                         use_crt=False, seed=b"pg-hs-sslv3")
+    return _session_signature(result)
+
+
+@scenario("handshake_tls10", "Table 3",
+          "TLS 1.0 handshake: PRF/HMAC replaces the SSLv3 KDF/MAC")
+def _handshake_tls10():
+    from ..ssl import DES_CBC3_SHA, TLS1_VERSION
+    from ..ssl.loopback import run_session
+    key, cert = _identity(seed=b"pg-hs-tls")
+    result = run_session(b"", suite=DES_CBC3_SHA, key=key, cert=cert,
+                         use_crt=False, version=TLS1_VERSION,
+                         seed=b"pg-hs-tls")
+    return _session_signature(result)
+
+
+@scenario("handshake_aes_sha", "Table 4",
+          "AES128-SHA handshake (message structure with an AES suite)")
+def _handshake_aes_sha():
+    from ..ssl import AES128_SHA
+    from ..ssl.loopback import run_session
+    key, cert = _identity(seed=b"pg-hs-aes")
+    result = run_session(b"", suite=AES128_SHA, key=key, cert=cert,
+                         use_crt=True, seed=b"pg-hs-aes")
+    return _session_signature(result)
+
+
+@scenario("resumed_session", "Table 2 (resumption)",
+          "Abbreviated handshake resuming a cached session")
+def _resumed_session():
+    from ..ssl import DES_CBC3_SHA
+    from ..ssl.loopback import run_session
+    from ..ssl.session import SessionCache
+    key, cert = _identity(seed=b"pg-resume")
+    cache = SessionCache()
+    with perf.activate(Profiler()):
+        first = run_session(b"", suite=DES_CBC3_SHA, key=key, cert=cert,
+                            session_cache=cache, seed=b"pg-resume-1")
+    assert first.session is not None, "first handshake minted no session"
+    result = run_session(b"", suite=DES_CBC3_SHA, key=key, cert=cert,
+                         session_cache=cache, resume=first.session,
+                         seed=b"pg-resume-2")
+    sig_prof, extra = _session_signature(result)
+    assert extra["resumed"], "resumption did not engage"
+    return sig_prof, extra
+
+
+@scenario("kernel_aes", "Table 5", "AES-128-CBC key setup + 8 KiB encrypt")
+def _kernel_aes():
+    from ..crypto.bench import measure_cipher
+    m = measure_cipher("aes", 8192)
+    return m.profiler, {"bytes": m.nbytes,
+                        "key_setup_cycles": m.key_setup_cycles}
+
+
+@scenario("kernel_3des", "Table 6", "3DES-CBC key setup + 2 KiB encrypt")
+def _kernel_3des():
+    from ..crypto.bench import measure_cipher
+    m = measure_cipher("3des", 2048)
+    return m.profiler, {"bytes": m.nbytes,
+                        "key_setup_cycles": m.key_setup_cycles}
+
+
+@scenario("kernel_rc4", "Table 11", "RC4 key setup + 8 KiB stream")
+def _kernel_rc4():
+    from ..crypto.bench import measure_cipher
+    m = measure_cipher("rc4", 8192)
+    return m.profiler, {"bytes": m.nbytes,
+                        "key_setup_cycles": m.key_setup_cycles}
+
+
+@scenario("kernel_rsa_crt", "Table 7",
+          "512-bit RSA private decryption with CRT, steady state")
+def _kernel_rsa_crt():
+    from ..crypto.bench import measure_rsa
+    m = measure_rsa(512, use_crt=True)
+    return m.profiler, {"key_bytes": m.nbytes}
+
+
+@scenario("kernel_rsa_noncrt", "Table 8",
+          "512-bit RSA private decryption without CRT, steady state")
+def _kernel_rsa_noncrt():
+    from ..crypto.bench import measure_rsa
+    m = measure_rsa(512, use_crt=False)
+    return m.profiler, {"key_bytes": m.nbytes}
+
+
+@scenario("kernel_bignum", "Table 9",
+          "Sliding-window modular exponentiation over bn_mul_add_words")
+def _kernel_bignum():
+    from ..bignum import BigNum, mod_exp
+    base = BigNum.from_bytes(bytes(range(1, 65)))
+    modulus = BigNum.from_bytes(bytes(range(100, 164)) + b"\x01")
+    exponent = BigNum.from_int(65537)
+    profiler = Profiler()
+    with perf.activate(profiler):
+        out = mod_exp(base, exponent, modulus)
+    return profiler, {"result_bytes": len(out.to_bytes())}
+
+
+@scenario("kernel_md5", "Table 10", "MD5 init/update/final over 8 KiB")
+def _kernel_md5():
+    from ..crypto.bench import measure_hash
+    m = measure_hash("md5", 8192)
+    return m.profiler, {"bytes": m.nbytes}
+
+
+@scenario("kernel_sha1", "Table 10", "SHA-1 init/update/final over 8 KiB")
+def _kernel_sha1():
+    from ..crypto.bench import measure_hash
+    m = measure_hash("sha1", 8192)
+    return m.profiler, {"bytes": m.nbytes}
+
+
+@scenario("bulk_record_rc4_md5", "Table 11",
+          "8 KiB application echo through an RC4-MD5 session")
+def _bulk_record_rc4_md5():
+    from ..ssl import RC4_MD5
+    from ..ssl.loopback import run_session
+    key, cert = _identity(seed=b"pg-bulk-rc4")
+    result = run_session(b"r" * 8192, suite=RC4_MD5, key=key, cert=cert,
+                         use_crt=True, seed=b"pg-bulk-rc4")
+    return _session_signature(result)
+
+
+@scenario("bulk_record_3des_sha", "Table 12",
+          "4 KiB application echo through a DES-CBC3-SHA session")
+def _bulk_record_3des_sha():
+    from ..ssl import DES_CBC3_SHA
+    from ..ssl.loopback import run_session
+    key, cert = _identity(seed=b"pg-bulk-3des")
+    result = run_session(b"d" * 4096, suite=DES_CBC3_SHA, key=key,
+                         cert=cert, use_crt=True, seed=b"pg-bulk-3des")
+    return _session_signature(result)
+
+
+@scenario("batch_rsa_flush", "Batch RSA",
+          "Concurrent handshakes amortized through the batch decryptor, "
+          "including a partial timeout flush")
+def _batch_rsa_flush():
+    from ..crypto.batch_rsa import generate_batch_keys
+    from ..crypto.rand import PseudoRandom
+    from ..webserver.simulator import WebServerSimulator
+    from ..webserver.workload import RequestWorkload
+    with perf.activate(Profiler()):
+        key_set = generate_batch_keys(512, 4,
+                                      rng=PseudoRandom(b"pg-batch"))
+    sim = WebServerSimulator(use_crt=True, key_set=key_set,
+                             seed=b"pg-batch")
+    workload = RequestWorkload.fixed(2048, resumption_rate=0.0)
+    result = sim.run(workload, 6, concurrency=4)
+    assert result.batched_ops, "batch queue never engaged"
+    return result.profiler, {
+        "requests_completed": result.requests_completed,
+        "failures": result.failures,
+        "wire_bytes": result.wire_bytes,
+        "batched_ops": result.batched_ops,
+        "batches": {str(k): v for k, v in sorted(result.batches.items())},
+    }
+
+
+@scenario("farm_2workers", "Farm scaling",
+          "Two-worker shared-cache farm with 50% resumption")
+def _farm_2workers():
+    from ..webserver import RequestWorkload, ServerFarm, SHARED
+    key, cert = _identity(seed=b"pg-farm")
+    farm = ServerFarm(2, topology=SHARED, key=key, cert=cert, use_crt=True)
+    workload = RequestWorkload.fixed(2048, resumption_rate=0.5)
+    result = farm.run(workload, 6, concurrency_per_worker=2)
+    merged = result.merged_profiler()
+    return merged, {
+        "requests_completed": result.requests_completed,
+        "failures": result.failures,
+        "resumed_handshakes": result.resumed_handshakes,
+        "cross_worker_resumptions": result.cross_worker_resumptions,
+        "wire_bytes": result.wire_bytes,
+        "per_worker_cycles": [w.cycles for w in result.worker_stats()],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Capture / record / check
+# ---------------------------------------------------------------------------
+
+def capture_scenario(name: str) -> Dict[str, Any]:
+    """Run one scenario from a cold start and return its signature.
+
+    Process-global one-time charges (the RSA error-string tables) are
+    re-armed first and every scenario builds its own keys, so captures
+    are independent of scenario order and of whatever ran before.
+    """
+    scn = SCENARIOS[name]
+    rsa.reset_error_tables()
+    with perf.activate(Profiler()):
+        profiler, extra = scn.run()
+    return baseline.capture(profiler, scenario=name, extra=extra,
+                            meta={"table": scn.table,
+                                  "description": scn.description})
+
+
+def baseline_path(directory: Path, name: str) -> Path:
+    return directory / f"{name}.json"
+
+
+def record(names: List[str], directory: Path) -> List[Path]:
+    paths = []
+    for name in names:
+        t0 = time.perf_counter()
+        sig = capture_scenario(name)
+        path = baseline.write_json(baseline_path(directory, name), sig)
+        print(f"recorded {name:24s} -> {path} "
+              f"({sig['cycles_total']:,} cycles, "
+              f"{time.perf_counter() - t0:.2f}s)")
+        paths.append(path)
+    return paths
+
+
+def check(names: List[str], directory: Path, *, tolerance: float = 0.0,
+          ) -> Tuple[bool, str]:
+    """Re-capture every scenario and diff against committed baselines.
+
+    Returns ``(ok, report_text)``; the report names each drifted leaf so
+    a reviewer can see which table moved without re-running locally.
+    """
+    lines: List[str] = []
+    backend = "fast" if runtime.fastpath_enabled() else "faithful"
+    lines.append(f"perf-gate: {len(names)} scenario(s), "
+                 f"backend={backend}, tolerance={tolerance}")
+    ok = True
+    for name in names:
+        path = baseline_path(directory, name)
+        if not path.exists():
+            ok = False
+            lines.append(f"FAIL {name}: no baseline at {path} "
+                         f"(run --record and commit it)")
+            continue
+        committed = baseline.load_json(path)
+        t0 = time.perf_counter()
+        fresh = capture_scenario(name)
+        drifts = baseline.diff_signatures(
+            committed, fresh, tolerance=tolerance,
+            tolerances=SECTION_TOLERANCES)
+        if drifts:
+            ok = False
+            lines.append(f"FAIL {name}: {len(drifts)} drifted metric(s) "
+                         f"[{SCENARIOS[name].table}]")
+            shown = drifts[:40]
+            for drift in shown:
+                lines.append(f"  {drift}")
+            if len(drifts) > len(shown):
+                lines.append(f"  ... and {len(drifts) - len(shown)} more")
+        else:
+            lines.append(f"ok   {name:24s} "
+                         f"[{SCENARIOS[name].table}] "
+                         f"({time.perf_counter() - t0:.2f}s)")
+    lines.append("perf-gate: " + ("PASS" if ok else "FAIL"))
+    return ok, "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-perfgate",
+        description="Record/check golden deterministic performance "
+                    "baselines for the paper-table scenarios")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--record", action="store_true",
+                      help="capture signatures and write baselines/*.json")
+    mode.add_argument("--check", action="store_true",
+                      help="diff fresh captures against committed "
+                           "baselines; exit 1 on drift")
+    mode.add_argument("--diff", nargs=2, metavar=("A", "B"),
+                      help="diff two signature JSON files")
+    mode.add_argument("--list", action="store_true",
+                      help="list registered scenarios")
+    parser.add_argument("scenarios", nargs="*",
+                        help="scenario names (default: all)")
+    parser.add_argument("--baseline-dir", default=str(DEFAULT_BASELINE_DIR),
+                        help="where baselines live (default: baselines/)")
+    parser.add_argument("--tolerance", type=float, default=0.0,
+                        help="default relative tolerance for numeric "
+                             "leaves (default: 0.0 = exact)")
+    parser.add_argument("--report", metavar="PATH",
+                        help="also write the check report to this file "
+                             "(uploaded as a CI artifact on failure)")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, scn in SCENARIOS.items():
+            print(f"{name:24s} [{scn.table}] {scn.description}")
+        return 0
+
+    if args.diff:
+        a, b = (baseline.load_json(p) for p in args.diff)
+        drifts = baseline.diff_signatures(a, b, tolerance=args.tolerance,
+                                          tolerances=SECTION_TOLERANCES)
+        for drift in drifts:
+            print(drift)
+        print(f"{len(drifts)} drifted metric(s)")
+        return 1 if drifts else 0
+
+    names = args.scenarios or list(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        parser.error(f"unknown scenario(s): {', '.join(unknown)}; "
+                     f"see --list")
+    directory = Path(args.baseline_dir)
+
+    if args.record:
+        record(names, directory)
+        return 0
+
+    ok, report = check(names, directory, tolerance=args.tolerance)
+    sys.stdout.write(report)
+    if args.report:
+        Path(args.report).write_text(report)
+        if not ok:
+            print(f"report written to {args.report}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,7 @@ import pytest
 
 from repro.crypto.bench import (
     aes_block_breakdown, characteristics, des_block_breakdown,
-    hash_phase_breakdown, instruction_mix, key_setup_shares, measure_cipher,
+    hash_phase_breakdown, instruction_mix, key_setup_shares,
     measure_rsa, rsa_step_breakdown,
 )
 

@@ -5,7 +5,7 @@ import pytest
 from repro.crypto.bench import (
     ALGORITHMS, Measurement, aes_block_breakdown, characteristics,
     des_block_breakdown, hash_phase_breakdown, instruction_mix,
-    key_setup_shares, measure_cipher, measure_hash, measure_rsa,
+    key_setup_shares, measure_cipher, measure_rsa,
     rsa_step_breakdown,
 )
 from repro.perf import PENTIUM4, WIDE_CORE

@@ -2,7 +2,6 @@
 
 import pytest
 
-import repro.crypto.aes as aes
 import repro.crypto.md5 as md5
 import repro.crypto.sha1 as sha1
 from repro.engines import (

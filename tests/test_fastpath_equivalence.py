@@ -20,7 +20,6 @@ import random
 import pytest
 
 from repro import perf, runtime
-from repro.bignum import kernels as K
 from repro.bignum.bn import BigNum
 from repro.bignum.modexp import mod_exp
 from repro.bignum.montgomery import REDUCTION_STYLES, MontgomeryContext

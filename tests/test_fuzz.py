@@ -8,7 +8,6 @@ struct.error or other accidental exception class.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import perf
 from repro.crypto.rand import PseudoRandom
 from repro.ssl import DES_CBC3_SHA, SslClient, SslServer
 from repro.ssl.errors import SslError

@@ -4,13 +4,12 @@ import pytest
 
 from repro import perf
 from repro.crypto.rand import PseudoRandom
-from repro.perf.categories import crypto_shares
 from repro.perf.trace import merge_profilers
 from repro.ssl import (
     DES_CBC3_SHA, SessionCache, SslClient, SslServer, TLS1_VERSION,
 )
 from repro.ssl.ciphersuites import DHE_RSA_AES128_SHA, EXP_RC4_MD5
-from repro.ssl.loopback import make_server_identity, pump
+from repro.ssl.loopback import pump
 from repro.ssl.x509 import make_ca_signed_pair
 from repro.webserver import RequestWorkload, WebServerSimulator
 

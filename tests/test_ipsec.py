@@ -5,8 +5,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.crypto.rand import PseudoRandom
 from repro.ipsec import (
-    ALL_ESP_SUITES, ESP_3DES_SHA1, ESP_AES128_SHA1, ESP_NULL_SHA1,
-    EspSuite, IpsecError, ReplayError, ReplayWindow, SecurityAssociation,
+    ALL_ESP_SUITES, ESP_3DES_SHA1, ESP_AES128_SHA1,
+    IpsecError, ReplayError, ReplayWindow, SecurityAssociation,
     decapsulate, encapsulate, establish_tunnel,
 )
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import perf
 from repro.perf import Profiler, mix
 from repro.perf.export import (
     compare_profiles, functions_csv, instruction_mix_csv, modules_markdown,

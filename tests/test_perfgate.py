@@ -1,0 +1,228 @@
+"""The golden-cycle regression gate (repro.perf.baseline + perfgate).
+
+Three properties keep the gate trustworthy:
+
+* **round-trip**: recording the same scenario twice produces
+  byte-identical baseline files, so ``--record`` -> ``--check`` is a
+  fixed point and git diffs over ``baselines/`` are meaningful;
+* **sensitivity**: a 1% perturbation of a single kernel's cycle charge
+  is caught and attributed to the drifted leaves;
+* **freshness**: the committed ``baselines/*.json`` match what the tree
+  actually produces, so the CI job is checking something real.
+"""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.perf import baseline
+from repro.perf.profiler import Profiler
+from repro.tools import perfgate
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_DIR = REPO_ROOT / "baselines"
+
+#: Scenarios cheap enough to re-capture inside the unit-test budget.
+CHEAP = ["kernel_md5", "kernel_sha1", "kernel_bignum"]
+
+
+# ---------------------------------------------------------------------------
+# Canonical JSON
+# ---------------------------------------------------------------------------
+
+def test_canonical_json_is_order_insensitive():
+    a = {"b": 2.0, "a": {"y": 1, "x": [1.5, 2.0]}}
+    b = {"a": {"x": [1.5, 2], "y": 1.0}, "b": 2}
+    assert baseline.canonical_json(a) == baseline.canonical_json(b)
+
+
+def test_canonical_json_formatting():
+    text = baseline.canonical_json({"n": 12.0, "f": 0.1, "s": "x"})
+    assert text.endswith("\n")
+    assert '"n": 12' in text          # integral floats collapse to ints
+    assert '"f": 0.1' in text         # non-integral floats keep full repr
+
+
+def test_canonical_json_rejects_nan():
+    with pytest.raises(ValueError):
+        baseline.canonical_json({"x": float("nan")})
+
+
+def test_canonical_json_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        baseline.canonical_json({"x": object()})
+
+
+# ---------------------------------------------------------------------------
+# Signature diffing
+# ---------------------------------------------------------------------------
+
+def _tiny_signature(scale: float = 1.0):
+    from repro import perf
+    from repro.perf import mix
+    profiler = Profiler()
+    with perf.activate(profiler):
+        with perf.region("step"):
+            perf.charge(mix(movl=4, mull=1), times=100 * scale,
+                        function="bn_mul_add_words")
+        perf.charge_cycles(500, function="tcp_stack", module="vmlinux")
+    return baseline.capture(profiler, scenario="tiny",
+                            extra={"wire_bytes": 42})
+
+
+def test_diff_identical_signatures_is_empty():
+    assert baseline.diff_signatures(_tiny_signature(), _tiny_signature()) \
+        == []
+
+
+def test_diff_catches_cycle_drift_and_tolerance_forgives_it():
+    base, fresh = _tiny_signature(), _tiny_signature(1.01)
+    drifts = baseline.diff_signatures(base, fresh)
+    paths = {d.path for d in drifts}
+    assert "cycles_total" in paths
+    assert "functions.bn_mul_add_words.cycles" in paths
+    assert "regions.step.cycles" in paths
+    # ~1% drift clears a 5% gate but not a 0.1% one.
+    assert baseline.diff_signatures(base, fresh, tolerance=0.05) == []
+    assert baseline.diff_signatures(base, fresh, tolerance=0.001)
+
+
+def test_diff_catches_shape_changes():
+    base, fresh = _tiny_signature(), _tiny_signature()
+    del fresh["functions"]["tcp_stack"]
+    fresh["extra"]["new_metric"] = 7
+    drifts = baseline.diff_signatures(base, fresh, tolerance=math.inf)
+    paths = {d.path for d in drifts}
+    assert "functions.tcp_stack" in paths     # vanished function
+    assert "extra.new_metric" in paths        # appeared metric
+
+
+def test_diff_schema_mismatch_short_circuits():
+    base, fresh = _tiny_signature(), _tiny_signature(2.0)
+    fresh["schema"] = base["schema"] + 1
+    drifts = baseline.diff_signatures(base, fresh)
+    assert len(drifts) == 1 and drifts[0].path == "schema"
+
+
+# ---------------------------------------------------------------------------
+# Record / check round-trip
+# ---------------------------------------------------------------------------
+
+def test_record_check_roundtrip_is_byte_identical(tmp_path):
+    dir_a, dir_b = tmp_path / "a", tmp_path / "b"
+    perfgate.record(["kernel_md5"], dir_a)
+    perfgate.record(["kernel_md5"], dir_b)
+    text_a = (dir_a / "kernel_md5.json").read_text()
+    assert text_a == (dir_b / "kernel_md5.json").read_text()
+    assert text_a.endswith("\n")
+    ok, report = perfgate.check(["kernel_md5"], dir_a)
+    assert ok, report
+
+
+def test_capture_is_independent_of_scenario_order():
+    after_others = None
+    for order in (["kernel_bignum", "kernel_md5"], ["kernel_md5"]):
+        sigs = {name: perfgate.capture_scenario(name) for name in order}
+        if after_others is None:
+            after_others = sigs["kernel_md5"]
+        else:
+            assert sigs["kernel_md5"] == after_others
+
+
+def test_missing_baseline_fails_check(tmp_path):
+    ok, report = perfgate.check(["kernel_md5"], tmp_path / "empty")
+    assert not ok
+    assert "no baseline" in report
+
+
+def test_perturbed_kernel_cycle_charge_is_caught(tmp_path, monkeypatch):
+    """A +1% charge in one kernel (SHA1's block function) must fail the
+    gate and name the drifted function."""
+    perfgate.record(["kernel_sha1"], tmp_path)
+
+    unpatched = Profiler.charge
+
+    def inflated(self, m, times=1.0, *, function="<anon>",
+                 module="libcrypto", stall=1.0):
+        if function == "SHA1_Update":
+            times *= 1.01
+        return unpatched(self, m, times, function=function, module=module,
+                         stall=stall)
+
+    monkeypatch.setattr(Profiler, "charge", inflated)
+    ok, report = perfgate.check(["kernel_sha1"], tmp_path)
+    assert not ok
+    assert "SHA1_Update" in report
+    assert "cycles_total" in report
+    # The default exact gate flags it *and* even a generous 0.1% relative
+    # tolerance still does: the injected drift is a real 1%.
+    ok_tol, _ = perfgate.check(["kernel_sha1"], tmp_path, tolerance=1e-3)
+    assert not ok_tol
+
+
+# ---------------------------------------------------------------------------
+# Committed baselines
+# ---------------------------------------------------------------------------
+
+def test_registry_covers_the_required_scenarios():
+    assert len(perfgate.SCENARIOS) >= 12
+    assert "farm_2workers" in perfgate.SCENARIOS
+    assert "batch_rsa_flush" in perfgate.SCENARIOS
+    assert "resumed_session" in perfgate.SCENARIOS
+
+
+def test_every_scenario_has_a_committed_baseline():
+    missing = [name for name in perfgate.SCENARIOS
+               if not (BASELINE_DIR / f"{name}.json").exists()]
+    assert not missing, f"record + commit baselines for: {missing}"
+
+
+def test_committed_baselines_are_canonical():
+    """Hand-edited or non-canonically-written baseline files would make
+    --record diffs noisy; every committed file must be a fixed point of
+    the canonical writer."""
+    for path in sorted(BASELINE_DIR.glob("*.json")):
+        sig = baseline.load_json(path)
+        assert baseline.canonical_json(sig) == path.read_text(), path
+        assert sig["scenario"] == path.stem
+
+
+def test_committed_cheap_baselines_match_fresh_captures():
+    ok, report = perfgate.check(CHEAP, BASELINE_DIR)
+    assert ok, f"committed baselines are stale:\n{report}"
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_list_and_check(tmp_path, capsys):
+    assert perfgate.main(["--list"]) == 0
+    assert "farm_2workers" in capsys.readouterr().out
+
+    report = tmp_path / "report.txt"
+    code = perfgate.main(["--check", "kernel_md5",
+                          "--baseline-dir", str(BASELINE_DIR),
+                          "--report", str(report)])
+    assert code == 0
+    assert "PASS" in report.read_text()
+
+    code = perfgate.main(["--check", "kernel_md5",
+                          "--baseline-dir", str(tmp_path / "none"),
+                          "--report", str(report)])
+    assert code == 1
+    assert "FAIL" in report.read_text()
+
+
+def test_cli_diff(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    baseline.write_json(a, _tiny_signature())
+    baseline.write_json(b, _tiny_signature(1.01))
+    assert perfgate.main(["--diff", str(a), str(a)]) == 0
+    assert perfgate.main(["--diff", str(a), str(b)]) == 1
+
+
+def test_cli_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        perfgate.main(["--check", "no_such_scenario"])

@@ -8,7 +8,7 @@ from repro.bignum import BigNum
 from repro.crypto import pkcs1
 from repro.crypto.rand import PseudoRandom
 from repro.crypto.rsa import (
-    RsaError, RsaPrivateKey, RsaPublicKey, generate_key,
+    RsaError, RsaPublicKey, generate_key,
 )
 from repro.crypto.sha1 import sha1
 

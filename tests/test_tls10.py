@@ -10,7 +10,7 @@ from repro.crypto.rand import PseudoRandom
 from repro.ssl import DES_CBC3_SHA, AES128_SHA, RC4_SHA, SessionCache, \
     SslClient, SslServer
 from repro.ssl import kdf
-from repro.ssl.errors import BadRecordMac, HandshakeFailure
+from repro.ssl.errors import BadRecordMac
 from repro.ssl.loopback import pump
 from repro.ssl.record import (
     ConnectionState, ContentType, KeyMaterial, SSL3_VERSION, TLS1_VERSION,

@@ -5,11 +5,11 @@ import pytest
 from repro import perf
 from repro.crypto.rand import PseudoRandom
 from repro.ssl import DES_CBC3_SHA, SslClient, SslServer, TLS1_VERSION
-from repro.ssl.errors import DecodeError, SslError, UnexpectedMessage
+from repro.ssl.errors import DecodeError, SslError
 from repro.ssl.handshake import (
     build_v2_client_hello, parse_v2_client_hello, v2_record,
 )
-from repro.ssl.loopback import make_server_identity, pump
+from repro.ssl.loopback import pump
 from repro.ssl.record import ContentType, RecordLayer
 
 
