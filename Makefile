@@ -5,8 +5,8 @@
 
 PY_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test check bench bench-host bench-farm perf-gate \
-	perf-baseline lint examples artifacts all
+.PHONY: install test check bench bench-host bench-farm bench-parallel \
+	perf-gate perf-baseline lint examples artifacts all
 
 install:
 	pip install -e .
@@ -30,6 +30,13 @@ bench-host:
 # writes BENCH_farm_scaling.json at the repository root.
 bench-farm:
 	$(PY_ENV) python benchmarks/bench_farm_scaling.py
+
+# Serial vs process-parallel farm wall-clock (pools of 1/2/4/8 workers)
+# with modeled-signature identity verified at every point; writes
+# BENCH_parallel_farm.json at the repository root.  Speedup is bounded by
+# the host's usable cores, which the artifact records.
+bench-parallel:
+	$(PY_ENV) python benchmarks/bench_parallel_farm.py
 
 # Golden-cycle regression gate: re-captures every registered scenario and
 # requires an exact match against the committed baselines/*.json.  CI runs

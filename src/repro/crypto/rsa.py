@@ -27,6 +27,7 @@ pair after each use.
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, Optional, Tuple
 
 from .. import perf
@@ -62,6 +63,24 @@ def reset_error_tables() -> None:
     """
     global _err_tables_loaded
     _err_tables_loaded = False
+
+
+def error_tables_loaded() -> bool:
+    """Whether this process has already paid the one-time ERR_LOAD charge.
+
+    The charge is *process*-global state that the paper's profile observes
+    exactly once (Table 8's ``ERR_load_BN_strings`` row).  The parallel
+    farm backend ships this flag to its worker processes so that a pool
+    run charges it in exactly the same place the serial interleaving
+    would -- never once per process.
+    """
+    return _err_tables_loaded
+
+
+def set_error_tables_loaded(loaded: bool) -> None:
+    """Overwrite the one-time-charge flag (parallel-worker handoff)."""
+    global _err_tables_loaded
+    _err_tables_loaded = bool(loaded)
 
 
 def _charge_data_conv(nbytes: int, function: str) -> None:
@@ -148,6 +167,31 @@ class RsaPrivateKey:
     # -- context helpers ------------------------------------------------------
     def public(self) -> RsaPublicKey:
         return RsaPublicKey(self.n, self.e)
+
+    def replica(self) -> "RsaPrivateKey":
+        """An independent handle over the same key material, with its own
+        blinding state -- pre-fork style: one replica per worker process.
+
+        A farm serving one certificate from N workers is N processes each
+        holding its own copy of the OpenSSL key structure: the numbers
+        (and the warmed Montgomery contexts, which are immutable after
+        construction -- the same sharing :meth:`share_montgomery`
+        sanctions) are common, but every process advances a private
+        blinding pair and RNG.  The replica snapshots the current
+        blinding state, so replicas made from one warmed key all start
+        the same deterministic blinding sequence.
+        """
+        twin = RsaPrivateKey(self.n, self.e, self.d, self.p, self.q,
+                             self.dmp1, self.dmq1, self.iqmp,
+                             use_crt=self.use_crt, blinding=self.blinding,
+                             mont_reduction=self._mont_reduction,
+                             rng=copy.deepcopy(self._rng))
+        twin._mont_n = self._mont_n
+        twin._mont_p = self._mont_p
+        twin._mont_q = self._mont_q
+        twin._mont_cache = dict(self._mont_cache)
+        twin._blind_pair = self._blind_pair
+        return twin
 
     @property
     def mont_reduction(self) -> str:

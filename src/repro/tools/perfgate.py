@@ -276,6 +276,17 @@ def _batch_rsa_flush():
     }
 
 
+def _farm_signature(result) -> Tuple[Profiler, Dict[str, Any]]:
+    return result.merged_profiler(), {
+        "requests_completed": result.requests_completed,
+        "failures": result.failures,
+        "resumed_handshakes": result.resumed_handshakes,
+        "cross_worker_resumptions": result.cross_worker_resumptions,
+        "wire_bytes": result.wire_bytes,
+        "per_worker_cycles": [w.cycles for w in result.worker_stats()],
+    }
+
+
 @scenario("farm_2workers", "Farm scaling",
           "Two-worker shared-cache farm with 50% resumption")
 def _farm_2workers():
@@ -284,15 +295,23 @@ def _farm_2workers():
     farm = ServerFarm(2, topology=SHARED, key=key, cert=cert, use_crt=True)
     workload = RequestWorkload.fixed(2048, resumption_rate=0.5)
     result = farm.run(workload, 6, concurrency_per_worker=2)
-    merged = result.merged_profiler()
-    return merged, {
-        "requests_completed": result.requests_completed,
-        "failures": result.failures,
-        "resumed_handshakes": result.resumed_handshakes,
-        "cross_worker_resumptions": result.cross_worker_resumptions,
-        "wire_bytes": result.wire_bytes,
-        "per_worker_cycles": [w.cycles for w in result.worker_stats()],
-    }
+    return _farm_signature(result)
+
+
+@scenario("farm_2workers_partitioned", "Farm scaling",
+          "Two-worker partitioned farm, session-affinity routing; "
+          "eligible for the process-parallel backend, so CI checks it "
+          "under REPRO_PARALLEL settings against this one baseline")
+def _farm_2workers_partitioned():
+    from ..webserver import PARTITIONED, RequestWorkload, ServerFarm
+    key, cert = _identity(seed=b"pg-farm-part")
+    farm = ServerFarm(2, topology=PARTITIONED, policy="session-affinity",
+                      key=key, cert=cert, use_crt=True)
+    workload = RequestWorkload.fixed(2048, resumption_rate=0.5)
+    # No explicit ``parallel=``: the run honors REPRO_PARALLEL, which is
+    # exactly the point -- the signature must not depend on it.
+    result = farm.run(workload, 6, concurrency_per_worker=2)
+    return _farm_signature(result)
 
 
 # ---------------------------------------------------------------------------
@@ -344,10 +363,12 @@ def check(names: List[str], directory: Path, *, tolerance: float = 0.0,
     lines.append(f"perf-gate: {len(names)} scenario(s), "
                  f"backend={backend}, tolerance={tolerance}")
     ok = True
+    failed: List[str] = []
     for name in names:
         path = baseline_path(directory, name)
         if not path.exists():
             ok = False
+            failed.append(name)
             lines.append(f"FAIL {name}: no baseline at {path} "
                          f"(run --record and commit it)")
             continue
@@ -359,6 +380,7 @@ def check(names: List[str], directory: Path, *, tolerance: float = 0.0,
             tolerances=SECTION_TOLERANCES)
         if drifts:
             ok = False
+            failed.append(name)
             lines.append(f"FAIL {name}: {len(drifts)} drifted metric(s) "
                          f"[{SCENARIOS[name].table}]")
             shown = drifts[:40]
@@ -370,6 +392,10 @@ def check(names: List[str], directory: Path, *, tolerance: float = 0.0,
             lines.append(f"ok   {name:24s} "
                          f"[{SCENARIOS[name].table}] "
                          f"({time.perf_counter() - t0:.2f}s)")
+    if failed:
+        # Drifting scenario names lead the report: the first line a
+        # reviewer (or a CI log excerpt) sees answers "which table moved".
+        lines.insert(1, "drifting scenarios: " + ", ".join(failed))
     lines.append("perf-gate: " + ("PASS" if ok else "FAIL"))
     return ok, "\n".join(lines) + "\n"
 
@@ -395,6 +421,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="list registered scenarios")
     parser.add_argument("scenarios", nargs="*",
                         help="scenario names (default: all)")
+    parser.add_argument("--only", action="append", metavar="NAME",
+                        help="restrict to scenarios whose name equals or "
+                             "contains NAME (repeatable; composes with "
+                             "positional names)")
     parser.add_argument("--baseline-dir", default=str(DEFAULT_BASELINE_DIR),
                         help="where baselines live (default: baselines/)")
     parser.add_argument("--tolerance", type=float, default=0.0,
@@ -424,6 +454,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown:
         parser.error(f"unknown scenario(s): {', '.join(unknown)}; "
                      f"see --list")
+    if args.only:
+        names = [n for n in names
+                 if any(sel == n or sel in n for sel in args.only)]
+        if not names:
+            parser.error(f"--only {', '.join(args.only)} matched no "
+                         f"scenario; see --list")
     directory = Path(args.baseline_dir)
 
     if args.record:

@@ -14,6 +14,7 @@ from .httpd import (
     ApacheWorker, HttpError, HttpRequest, build_request, build_response,
     parse_request, parse_response,
 )
+from .parallel import run_parallel
 from .simulator import SimulationResult, WebServerSimulator, run_experiment
 from .workload import Request, RequestWorkload, document_bytes
 
@@ -24,7 +25,7 @@ __all__ = [
     "PARTITIONED", "POLICIES", "SHARED", "TOPOLOGIES",
     "FarmResult", "LeastConnectionsPolicy", "LoadBalancerPolicy",
     "RoundRobinPolicy", "ServerFarm", "SessionAffinityPolicy",
-    "WorkerStats",
+    "WorkerStats", "run_parallel",
     "ApacheWorker", "HttpError", "HttpRequest", "build_request",
     "build_response", "parse_request", "parse_response",
     "SimulationResult", "WebServerSimulator", "run_experiment",

@@ -34,11 +34,12 @@ therefore mirrors ``WebServerSimulator._run_concurrent`` exactly
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from .. import perf
+from .. import perf, runtime
 from ..crypto.batch_rsa import BatchRsaKeySet
 from ..crypto.rsa import RsaPrivateKey
 from ..ssl.ciphersuites import CipherSuite, DEFAULT_SUITE
@@ -176,7 +177,23 @@ class WorkerStats:
 
 @dataclass
 class FarmResult:
-    """Aggregate + per-shard measurements of one farm run."""
+    """Aggregate + per-shard measurements of one farm run.
+
+    Two unrelated clocks appear in this result; every figure below is
+    explicit about which one it reads:
+
+    * **virtual (modeled) time** -- each worker's private
+      :class:`~repro.perf.Profiler` accumulates the Pentium 4 cycles the
+      paper's cost model charges; :meth:`makespan_seconds`,
+      :meth:`capacity_rps` and :meth:`analytic_capacity_rps` are derived
+      from it.  Virtual figures are *deterministic* and independent of
+      the execution backend (serial, fast path, process pool);
+    * **host wall-clock** -- how long ``run()`` took on the machine
+      executing the simulation.  :attr:`wall_seconds` records it, making
+      serial-vs-parallel speedup a first-class output instead of a
+      quantity benchmarks re-time around the call.  Wall figures are
+      *not* deterministic and never enter baseline signatures.
+    """
 
     nworkers: int
     topology: str
@@ -191,6 +208,13 @@ class FarmResult:
     #: Resumptions served by a worker other than the session's minter
     #: (only possible under the shared topology).
     cross_worker_resumptions: int = 0
+    #: Host wall-clock duration of the ``run()`` call, in real seconds.
+    #: Excluded from the determinism contract (and from signatures).
+    wall_seconds: float = 0.0
+    #: Execution backend that produced this result: ``"serial"`` or
+    #: ``"parallel:<nprocs>"``.  Modeled results are bit-identical across
+    #: backends; this field only reports how the host executed the run.
+    backend: str = "serial"
 
     # -- aggregates ---------------------------------------------------------
     @property
@@ -230,15 +254,20 @@ class FarmResult:
         return sum(r.profiler.total_cycles() for r in self.results)
 
     def makespan_seconds(self) -> float:
-        """Virtual wall-clock of the run: the busiest worker's clock."""
+        """**Virtual** duration of the run: the busiest worker's modeled
+        clock (charged cycles over the modeled CPU frequency).  Compare
+        :attr:`wall_seconds` for how long the host actually took."""
         return max(r.profiler.seconds() for r in self.results)
 
     def capacity_rps(self) -> float:
-        """Achieved farm capacity: completed requests over the makespan.
+        """Achieved farm capacity in **virtual** requests/second:
+        completed requests over :meth:`makespan_seconds`.
 
         This is the farm-scale analogue of the paper's Table 1 capacity
-        (requests/s at saturation): workers run in parallel, so the run
-        "takes" as long as its most loaded worker.
+        (requests/s at saturation): the modeled workers run on one CPU
+        each, so the run "takes" as long as its most loaded worker.  It
+        says nothing about host execution speed -- a process-parallel run
+        reports exactly the same figure as a serial one.
         """
         makespan = self.makespan_seconds()
         if makespan <= 0.0:
@@ -246,11 +275,22 @@ class FarmResult:
         return self.requests_completed / makespan
 
     def analytic_capacity_rps(self) -> float:
-        """Sum of per-worker analytic ceilings (see ``capacity.py``)."""
+        """Sum of per-worker analytic ceilings, in **virtual** (modeled)
+        requests/second (see :func:`~repro.webserver.capacity.
+        farm_requests_per_second`)."""
         return farm_requests_per_second(
             [r.profiler.total_cycles() for r in self.results],
             [r.requests_completed for r in self.results],
             self.results[0].profiler.cpu)
+
+    def wall_speedup_over(self, other: "FarmResult") -> float:
+        """Host wall-clock speedup of this run relative to ``other``
+        (typically a serial run of the same workload).  Purely a host
+        execution figure; both runs' modeled results should be identical.
+        """
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return other.wall_seconds / self.wall_seconds
 
     def merged_profiler(self) -> perf.Profiler:
         """All workers folded into one profile (Table 1 at farm scale)."""
@@ -288,6 +328,48 @@ class _WorkerState:
         self.result = SimulationResult(profiler=self.profiler)
         self.active: List[_Transaction] = []
         self.stalled = 0
+
+
+def _run_worker_round(state: _WorkerState, pool: _SessionPool) -> int:
+    """One scheduling round of one worker: step every in-flight
+    transaction, retire done ones, tick/flush the batch clock, track
+    stalls.  Returns the number of cross-worker resumptions retired this
+    round.
+
+    This is *the* worker inner loop: the serial path calls it in worker
+    order inside ``ServerFarm.run`` and the process-parallel backend
+    (:mod:`repro.webserver.parallel`) calls it inside each child process.
+    Keeping one shared body is what makes the two backends bit-identical
+    by construction rather than by parallel maintenance.
+    """
+    pool.current_worker = state.index
+    cross = 0
+    progressed = False
+    for txn in list(state.active):
+        if txn.step():
+            progressed = True
+        if txn.done:
+            state.active.remove(txn)
+            owner = txn._farm_offered_owner
+            if (txn.server.resumed and owner is not None
+                    and owner != state.index):
+                cross += 1
+    batcher = state.sim._batcher
+    if batcher is not None:
+        with perf.activate(state.profiler):
+            batcher.tick()
+            if not progressed and len(batcher):
+                batcher.flush()
+                progressed = True
+    if progressed:
+        state.stalled = 0
+        return cross
+    state.stalled += 1
+    if state.stalled > 4:
+        for txn in state.active:
+            txn._fail()
+        state.active.clear()
+    return cross
 
 
 class ServerFarm:
@@ -334,6 +416,17 @@ class ServerFarm:
             # Same derivation as WebServerSimulator's default, generated
             # once and shared by every worker.
             key, cert = make_server_identity(1024, seed=seed + b"-identity")
+        # Pre-fork key distribution: the identity (numbers, certificate,
+        # warmed Montgomery contexts) is generated once, then every worker
+        # gets its own key *replica* with private blinding state -- the
+        # way each prefork server process owns its OpenSSL key structure.
+        # Worker-local blinding is also what makes the process-parallel
+        # backend cycle-exact: a single shared key would couple the
+        # workers through the order its blinding pair is consumed.  At
+        # N=1 the original key is used directly, preserving the
+        # bit-identity with ``WebServerSimulator``.
+        worker_keys = ([key] if nworkers == 1 else
+                       [key.replica() for _ in range(nworkers)])
         shared_cache = (SessionCache(session_cache_capacity)
                         if topology == SHARED else None)
         subsets: Optional[List[BatchRsaKeySet]] = None
@@ -343,7 +436,7 @@ class ServerFarm:
         self._sims: List[WebServerSimulator] = []
         for i in range(nworkers):
             sim = WebServerSimulator(
-                suite=suite, key=key, cert=cert, costs=costs,
+                suite=suite, key=worker_keys[i], cert=cert, costs=costs,
                 use_crt=use_crt, version=version, seed=seed,
                 key_set=subsets[i] if subsets is not None else None,
                 batch_size=batch_size, batch_timeout=batch_timeout,
@@ -356,14 +449,22 @@ class ServerFarm:
             self._sims.append(sim)
         self._shared_cache = shared_cache
         self._states: List[_WorkerState] = []
+        # When the process-parallel backend runs, worker states live in
+        # child processes; the parent tracks in-flight counts here so the
+        # balancing policies keep working unchanged.
+        self._parallel_active: Optional[List[int]] = None
 
     # -- policy callbacks ---------------------------------------------------
+    def _active_of(self, worker: int) -> int:
+        if self._parallel_active is not None:
+            return self._parallel_active[worker]
+        return len(self._states[worker].active)
+
     def free_slots(self, worker: int) -> bool:
-        state = self._states[worker]
-        return len(state.active) < self._concurrency
+        return self._active_of(worker) < self._concurrency
 
     def active_connections(self, worker: int) -> int:
-        return len(self._states[worker].active)
+        return self._active_of(worker)
 
     def offered_session(self, group: Sequence[Request],
                         ) -> Optional[SslSession]:
@@ -381,10 +482,46 @@ class ServerFarm:
             return [self._shared_cache]
         return [sim._session_cache for sim in self._sims]
 
+    # -- admission ----------------------------------------------------------
+    def _admission_plan(self, group: Sequence[Request],
+                        ) -> Optional[Tuple[int, Optional[SslSession],
+                                            Optional[int]]]:
+        """Decide where the connection at the head of the accept queue
+        goes: ``(worker, offered_session, offered_owner)``, or ``None``
+        to hold it for this round.  Pure policy -- no transaction is
+        built, so the parallel backend can plan admissions in the parent
+        and ship them to worker processes."""
+        worker = self.policy.select(self, group)
+        if worker is None:
+            return None
+        offered = self.offered_session(group)
+        owner = (self._pool.owners.get(offered.session_id)
+                 if offered is not None else None)
+        return worker, offered, owner
+
+    def _admit(self, pending: "deque[List[Request]]", txn_id: int) -> int:
+        """Serial-path admission: drain the accept queue through the
+        balancing policy, building transactions in place.  Returns the
+        next transaction id."""
+        while pending:
+            plan = self._admission_plan(pending[0])
+            if plan is None:
+                break
+            worker, _, owner = plan
+            state = self._states[worker]
+            self._pool.current_worker = worker
+            txn = _Transaction(state.sim, txn_id, pending.popleft(),
+                               state.profiler, state.result)
+            txn._farm_offered_owner = owner
+            state.active.append(txn)
+            txn_id += 1
+        return txn_id
+
     # -- the experiment -----------------------------------------------------
     def run(self, workload: RequestWorkload, nrequests: int,
             requests_per_connection: int = 1,
-            concurrency_per_worker: int = 4) -> FarmResult:
+            concurrency_per_worker: int = 4,
+            parallel: Optional[int] = None) -> FarmResult:
         """Process ``nrequests`` requests across the farm.
 
         Scheduling interleaves the workers round by round: admit from the
@@ -393,11 +530,25 @@ class ServerFarm:
         worker's batch clock -- the exact per-worker mirror of
         ``WebServerSimulator._run_concurrent`` (which is what makes the
         N=1 farm bit-identical to the single simulator).
+
+        ``parallel`` selects the host execution backend: ``None`` reads
+        the ``REPRO_PARALLEL`` default (:func:`repro.runtime.
+        parallel_processes`), ``0``/``1`` force the in-process serial
+        loop, and ``N > 1`` drives the per-worker loops through ``N``
+        OS processes (:mod:`repro.webserver.parallel`).  The backend is
+        *not observable* in the modeled results: cycles, transcripts and
+        cache counters are bit-identical either way.  The shared-cache
+        topology always runs serially (same-round read-after-write on the
+        one cache cannot be partitioned across processes); ``parallel``
+        is silently clamped to the worker count.
         """
         if requests_per_connection < 1:
             raise ValueError("requests_per_connection must be >= 1")
         if concurrency_per_worker < 1:
             raise ValueError("concurrency_per_worker must be >= 1")
+        if parallel is None:
+            parallel = runtime.parallel_processes()
+        start = time.perf_counter()
         self._concurrency = concurrency_per_worker
         groups: List[List[Request]] = []
         batch: List[Request] = []
@@ -411,57 +562,33 @@ class ServerFarm:
 
         self._states = [_WorkerState(i, sim)
                         for i, sim in enumerate(self._sims)]
-        states = self._states
+        self._parallel_active = None
         pending = deque(groups)
+
+        nprocs = min(int(parallel or 0), self.nworkers)
+        if nprocs > 1 and self.topology == PARTITIONED:
+            from .parallel import run_parallel
+            result = run_parallel(self, pending, nprocs)
+            result.wall_seconds = time.perf_counter() - start
+            return result
+
+        result = self._run_serial(pending)
+        result.wall_seconds = time.perf_counter() - start
+        return result
+
+    def _run_serial(self, pending: "deque[List[Request]]") -> FarmResult:
+        states = self._states
         txn_id = 0
         cross_resumed = 0
-
         while pending or any(s.active for s in states):
-            # -- admission through the balancer -----------------------------
-            while pending:
-                worker = self.policy.select(self, pending[0])
-                if worker is None:
-                    break
-                state = states[worker]
-                offered = self.offered_session(pending[0])
-                self._pool.current_worker = worker
-                txn = _Transaction(state.sim, txn_id, pending.popleft(),
-                                   state.profiler, state.result)
-                txn._farm_offered_owner = (
-                    self._pool.owners.get(offered.session_id)
-                    if offered is not None else None)
-                state.active.append(txn)
-                txn_id += 1
-            # -- one scheduling round over every worker ----------------------
+            txn_id = self._admit(pending, txn_id)
             for state in states:
-                self._pool.current_worker = state.index
-                progressed = False
-                for txn in list(state.active):
-                    if txn.step():
-                        progressed = True
-                    if txn.done:
-                        state.active.remove(txn)
-                        owner = txn._farm_offered_owner
-                        if (txn.server.resumed and owner is not None
-                                and owner != state.index):
-                            cross_resumed += 1
-                batcher = state.sim._batcher
-                if batcher is not None:
-                    with perf.activate(state.profiler):
-                        batcher.tick()
-                        if not progressed and len(batcher):
-                            batcher.flush()
-                            progressed = True
-                if progressed:
-                    state.stalled = 0
-                    continue
-                state.stalled += 1
-                if state.stalled > 4:
-                    for txn in state.active:
-                        txn._fail()
-                    state.active.clear()
+                cross_resumed += _run_worker_round(state, self._pool)
+        return self._assemble_result(cross_resumed, backend="serial")
 
-        for state in states:
+    def _assemble_result(self, cross_resumed: int,
+                         backend: str) -> FarmResult:
+        for state in self._states:
             if state.sim._batcher is not None:
                 state.result.batches = dict(state.sim._batcher.batches)
                 state.result.batched_ops = state.sim._batcher.ops_submitted
@@ -478,6 +605,7 @@ class ServerFarm:
         return FarmResult(
             nworkers=self.nworkers, topology=self.topology,
             policy=self.policy.name,
-            results=[s.result for s in states],
+            results=[s.result for s in self._states],
             shard_stats=shard_stats,
-            cross_worker_resumptions=cross_resumed)
+            cross_worker_resumptions=cross_resumed,
+            backend=backend)

@@ -1,0 +1,315 @@
+"""Process-parallel execution backend for :class:`~repro.webserver.farm.
+ServerFarm` -- deterministic, cycle-exact.
+
+The farm's workload is embarrassingly parallel *almost* everywhere: each
+worker replica owns its connection pool, its virtual clock, its batch
+queue and (under the partitioned topology) its session-cache shard.  The
+pieces that are *not* worker-local are exactly the pieces the serial
+scheduling loop touches between worker rounds:
+
+* the **balancing policy** and global accept queue (admission order);
+* the farm-global **client session pool** (clients resume against
+  whichever worker they land on next, so worker A's minted session must
+  be offerable to worker B one round later);
+* one **process-global one-shot charge**: OpenSSL loads its error
+  strings the first time any RSA private decryption runs
+  (``ERR_load_BN_strings``, see :mod:`repro.crypto.rsa`), and the paper's
+  cost model charges it exactly once per process lifetime.
+
+This module keeps all three in the parent and runs the per-worker inner
+loops -- the *same* ``_run_worker_round`` the serial path executes -- in
+child processes, synchronised once per scheduling round ("lockstep").
+Because the serial loop already quantises all cross-worker interaction
+to round boundaries (the pool is read only at admission, written only at
+connection close; the policy runs only at admission), replaying the
+round structure reproduces the serial interleaving *exactly*: modeled
+cycles, transcripts, cache counters and batch histograms are
+bit-identical to ``ServerFarm.run`` with ``parallel=0``, enforced
+against the committed baselines by ``tests/test_parallel_farm.py`` and
+the CI parallel-farm smoke job.
+
+Protocol (one duplex pipe per child process)::
+
+    parent -> child   ("init",   {fastpath, err_tables, states})
+    parent -> child   ("round",  {worker: [(txn_id, group, offered,
+                                            owner), ...]})
+    child  -> parent  ("report", {worker: (minted, cross, active)})
+    parent -> child   ("finish",)
+    child  -> parent  ("done",   [worker states])
+    child  -> parent  ("error",  traceback text)   -- any time
+
+Determinism notes:
+
+* **Admission** is planned entirely in the parent: the policy object
+  (and its internal state, e.g. round-robin position) never leaves the
+  parent, per-worker in-flight counts are mirrored from the round
+  reports (:attr:`ServerFarm._parallel_active`), and the offered session
+  is resolved against the parent's pool and shipped with the admission
+  -- so worker selection, transaction ids and resumption offers are the
+  serial ones by construction.
+* **Minted sessions** travel back in the round report and are appended
+  to the parent pool in worker-index order -- the order the serial loop
+  appends them -- before the next round's admissions read the pool.
+* **The ERR_LOAD one-shot** cannot be fanned out: each child starts with
+  its own unset flag, so naive parallelism would charge it once per
+  process (or in the wrong worker's clock).  Instead the run begins with
+  a *serial prefix* in the parent -- the ordinary serial loop -- until
+  the charge has been consumed (or is provably unreachable: non-RSA key
+  exchange, or a handshake batcher that defers every private decryption
+  into :meth:`~repro.crypto.batch_rsa.BatchRsaDecryptor.decrypt_batch`).
+  Only then are worker states snapshotted and shipped.  A run that
+  completes inside the prefix reports ``backend="serial"``.
+* **Pickle boundary**: worker states cross the pipe via pickle.
+  :class:`~repro.perf.cpu.CpuModel` interns on unpickle (identity-based
+  merge checks survive), :class:`~repro.perf.isa.MixAccumulator` folds
+  before serializing, and each child's states ship in one message so
+  within-process object sharing (key, cert, suite) is preserved by the
+  pickle memo.
+
+Start method: ``fork`` where the platform offers it (cheap -- the child
+inherits the imported modules), ``spawn`` otherwise; both are supported
+and the choice is not observable in the results.  Override with
+``REPRO_PARALLEL_START=fork|spawn|forkserver``.  Spawn safety is why
+:func:`_worker_main` is a module-level function fed exclusively through
+its pipe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from collections import deque
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from .. import runtime
+from ..crypto import rsa
+from ..ssl.session import SslSession
+from .simulator import _Transaction
+from .workload import Request
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .farm import FarmResult, ServerFarm, _WorkerState
+
+
+class _ClientPoolMirror:
+    """Child-side stand-in for the farm-global client session pool.
+
+    The real :class:`~repro.webserver.farm._SessionPool` lives in the
+    parent.  Inside a worker process the simulator touches the pool at
+    exactly two points, and the mirror covers both:
+
+    * ``_Transaction.__init__`` reads ``pool[-1]`` (guarded by
+      ``bool(pool)``) to pick the session a resuming client offers.  The
+      parent resolves that against its authoritative pool and ships the
+      session with the admission; the mirror replays it via
+      :attr:`offered`.
+    * ``_step_close`` appends the connection's (possibly freshly minted)
+      session.  The mirror collects appends in :attr:`minted`, which the
+      round report carries back for the parent to fold into the real
+      pool in worker-index order.
+    """
+
+    def __init__(self, index: int) -> None:
+        self.current_worker = index
+        self.offered: Optional[SslSession] = None
+        self.minted: List[SslSession] = []
+
+    def append(self, session: SslSession) -> None:
+        self.minted.append(session)
+
+    def __bool__(self) -> bool:
+        return self.offered is not None
+
+    def __getitem__(self, index: int) -> SslSession:
+        if index != -1 or self.offered is None:
+            raise IndexError(
+                "client pool mirror only serves the most recent session")
+        return self.offered
+
+
+def _start_method() -> str:
+    override = os.environ.get("REPRO_PARALLEL_START", "").strip().lower()
+    available = multiprocessing.get_all_start_methods()
+    if override:
+        if override not in available:
+            raise ValueError(
+                f"REPRO_PARALLEL_START={override!r} not available "
+                f"(choices: {available})")
+        return override
+    return "fork" if "fork" in available else "spawn"
+
+
+def _err_load_pending(farm: "ServerFarm") -> bool:
+    """True while the process-global ERR_LOAD one-shot could still fire
+    in this run, i.e. while fan-out would misplace it."""
+    if rsa.error_tables_loaded():
+        return False
+    sim = farm._sims[0]
+    if sim._suite.key_exchange != "RSA":
+        return False
+    if sim._batcher is not None:
+        return False
+    return True
+
+
+def _worker_main(conn) -> None:
+    """Child process entry point: owns a subset of worker states, runs
+    their rounds in lockstep with the parent.  Module-level (and fed
+    only through ``conn``) so the spawn start method can import it."""
+    try:
+        kind, payload = conn.recv()
+        if kind != "init":  # pragma: no cover - protocol guard
+            raise RuntimeError(f"expected init message, got {kind!r}")
+        runtime.set_fastpath(payload["fastpath"])
+        rsa.set_error_tables_loaded(payload["err_tables"])
+        # Imported here so a spawn child pays for it once, after init.
+        from .farm import _run_worker_round
+        states: List["_WorkerState"] = payload["states"]
+        while True:
+            msg = conn.recv()
+            if msg[0] == "round":
+                admissions: Dict[int, list] = msg[1]
+                # Admission first for every worker, then every worker's
+                # round -- the serial phase order.
+                for state in states:
+                    mirror = state.sim._client_sessions
+                    for txn_id, group, offered, owner in admissions.get(
+                            state.index, ()):
+                        mirror.offered = offered
+                        txn = _Transaction(state.sim, txn_id, group,
+                                           state.profiler, state.result)
+                        txn._farm_offered_owner = owner
+                        state.active.append(txn)
+                        mirror.offered = None
+                report = {}
+                for state in states:
+                    mirror = state.sim._client_sessions
+                    cross = _run_worker_round(state, mirror)
+                    report[state.index] = (mirror.minted, cross,
+                                           len(state.active))
+                conn.send(("report", report))
+                for state in states:
+                    state.sim._client_sessions.minted = []
+            elif msg[0] == "finish":
+                conn.send(("done", states))
+                return
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown message {msg[0]!r}")
+    except EOFError:  # parent died; nothing to report to
+        return
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _recv(conn):
+    msg = conn.recv()
+    if msg[0] == "error":
+        raise RuntimeError(
+            "parallel farm worker process failed:\n" + msg[1])
+    return msg
+
+
+def run_parallel(farm: "ServerFarm", pending: "deque[List[Request]]",
+                 nprocs: int) -> "FarmResult":
+    """Drive ``farm``'s scheduling loop with worker states distributed
+    over ``nprocs`` child processes.  Called by :meth:`ServerFarm.run`
+    (never directly); ``farm._states`` is already initialised and the
+    workload already grouped into ``pending``."""
+    from .farm import _run_worker_round
+
+    states = farm._states
+    pool = farm._pool
+    txn_id = 0
+    cross = 0
+
+    # -- serial prefix: consume the process-global one-shot charge ----------
+    while _err_load_pending(farm) and (
+            pending or any(s.active for s in states)):
+        txn_id = farm._admit(pending, txn_id)
+        for state in states:
+            cross += _run_worker_round(state, pool)
+    if not pending and not any(s.active for s in states):
+        # The whole run fit inside the prefix; no processes were spawned.
+        return farm._assemble_result(cross, backend="serial")
+
+    # -- snapshot worker states and fan out ---------------------------------
+    workers_of = [[i for i in range(farm.nworkers) if i % nprocs == p]
+                  for p in range(nprocs)]
+    proc_of = {i: p for p in range(nprocs) for i in workers_of[p]}
+    for state in states:
+        state.sim._client_sessions = _ClientPoolMirror(state.index)
+
+    ctx = multiprocessing.get_context(_start_method())
+    procs: List = []
+    conns: List = []
+    try:
+        for p in range(nprocs):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main, args=(child_conn,),
+                               daemon=True)
+            proc.start()
+            child_conn.close()
+            parent_conn.send(("init", {
+                "fastpath": runtime.fastpath_enabled(),
+                "err_tables": rsa.error_tables_loaded(),
+                "states": [states[i] for i in workers_of[p]],
+            }))
+            procs.append(proc)
+            conns.append(parent_conn)
+
+        active = [len(s.active) for s in states]
+        farm._parallel_active = active
+
+        # -- lockstep rounds ------------------------------------------------
+        while pending or any(active):
+            admissions: List[Dict[int, list]] = [{} for _ in range(nprocs)]
+            while pending:
+                plan = farm._admission_plan(pending[0])
+                if plan is None:
+                    break
+                worker, offered, owner = plan
+                group = pending.popleft()
+                admissions[proc_of[worker]].setdefault(worker, []).append(
+                    (txn_id, group, offered, owner))
+                active[worker] += 1
+                txn_id += 1
+            for p in range(nprocs):
+                conns[p].send(("round", admissions[p]))
+            reports = [_recv(conns[p])[1] for p in range(nprocs)]
+            # Fold round effects in worker-index order -- the order the
+            # serial loop iterates workers, hence the order sessions
+            # land in the pool.
+            for i in range(farm.nworkers):
+                minted, delta, count = reports[proc_of[i]][i]
+                pool.current_worker = i
+                for session in minted:
+                    pool.append(session)
+                cross += delta
+                active[i] = count
+
+        # -- collect final worker states ------------------------------------
+        for p in range(nprocs):
+            conns[p].send(("finish",))
+        for p in range(nprocs):
+            for state in _recv(conns[p])[1]:
+                state.sim._client_sessions = pool
+                farm._states[state.index] = state
+                farm._sims[state.index] = state.sim
+        for proc in procs:
+            proc.join(timeout=10)
+    finally:
+        farm._parallel_active = None
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+
+    return farm._assemble_result(cross, backend=f"parallel:{nprocs}")

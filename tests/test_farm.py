@@ -188,6 +188,73 @@ class TestPolicies:
             ServerFarm(1, policy="random")
 
 
+class TestAffinityUnderSaturation:
+    """SessionAffinityPolicy's documented saturation fallback: a resuming
+    client whose sticky worker has no free slot is *held at the head of
+    the accept queue* -- never rerouted to another shard (which would
+    trade a guaranteed future hit for a guaranteed miss)."""
+
+    def make_farm(self, identity512):
+        from repro.webserver.farm import _WorkerState
+        key, cert = identity512
+        farm = ServerFarm(2, topology=PARTITIONED,
+                          policy="session-affinity", key=key, cert=cert)
+        farm._states = [_WorkerState(i, sim)
+                        for i, sim in enumerate(farm._sims)]
+        farm._concurrency = 1
+        return farm
+
+    def minted_session(self, farm, worker):
+        from repro.ssl import DES_CBC3_SHA
+        from repro.ssl.session import SslSession
+        session = SslSession(session_id=bytes([worker + 1]) * 32,
+                             cipher_suite_id=DES_CBC3_SHA.suite_id,
+                             master_secret=b"m" * 48)
+        farm._pool.current_worker = worker
+        farm._pool.append(session)
+        return session
+
+    def test_holds_resuming_client_for_saturated_sticky_worker(
+            self, identity512):
+        from repro.webserver.workload import Request
+        farm = self.make_farm(identity512)
+        self.minted_session(farm, worker=0)
+        group = [Request(path="/r", size_bytes=1024, resumable=True)]
+        # Worker 0 (the session's minter) is saturated: the policy holds
+        # the connection rather than breaking affinity, even though
+        # worker 1 has a free slot.
+        farm._states[0].active.append(object())
+        assert farm.free_slots(1)
+        assert farm.policy.select(farm, group) is None
+        # The slot frees up next round; the same connection now routes home.
+        farm._states[0].active.clear()
+        assert farm.policy.select(farm, group) == 0
+
+    def test_fresh_clients_still_flow_around_saturation(self, identity512):
+        from repro.webserver.workload import Request
+        farm = self.make_farm(identity512)
+        self.minted_session(farm, worker=0)
+        farm._states[0].active.append(object())
+        fresh = [Request(path="/f", size_bytes=1024, resumable=False)]
+        # Non-resuming connections fall back to round-robin and take the
+        # free worker -- saturation of a sticky target never head-blocks
+        # the fresh traffic behind a *different* accept-queue entry.
+        assert farm.policy.select(farm, fresh) == 1
+
+    def test_saturated_run_completes_without_breaking_affinity(
+            self, identity512):
+        key, cert = identity512
+        farm = ServerFarm(2, topology=PARTITIONED,
+                          policy="session-affinity", key=key, cert=cert)
+        # concurrency 1 forces repeated sticky-target saturation: every
+        # resuming client must wait for its home worker's single slot.
+        result = farm.run(workload(1.0), 8, concurrency_per_worker=1)
+        assert result.failures == 0
+        assert result.requests_completed == 8
+        # Affinity was never broken: no resumption was served off-shard.
+        assert result.cross_worker_resumptions == 0
+
+
 # ---------------------------------------------------------------------------
 # Batch RSA sharding
 # ---------------------------------------------------------------------------

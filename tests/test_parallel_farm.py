@@ -1,0 +1,195 @@
+"""Process-parallel farm backend: bit-identity with the serial loop.
+
+The contract (DESIGN.md "Execution backends"): ``ServerFarm.run`` with
+``parallel=N`` produces the *same signature* -- merged profile, per-worker
+cycles, transcript bytes, cache counters, batch histograms -- as the
+serial loop, for every topology/policy combination that fans out, and
+falls back to serial where fan-out cannot be exact (shared cache
+topology).  These tests pin that contract with full canonical baseline
+signatures, not spot checks.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import runtime
+from repro.crypto import rsa
+from repro.crypto.batch_rsa import generate_batch_keys
+from repro.crypto.rand import PseudoRandom
+from repro.perf import baseline
+from repro.webserver import PARTITIONED, SHARED, RequestWorkload, ServerFarm
+from repro.webserver.parallel import _ClientPoolMirror
+
+
+@pytest.fixture(scope="module")
+def batch_keys():
+    return generate_batch_keys(512, 4, rng=PseudoRandom(b"par-batch"))
+
+
+def workload(resumption_rate=0.5, size=2048):
+    return RequestWorkload.fixed(size, resumption_rate=resumption_rate)
+
+
+def signature(result) -> str:
+    """Canonical JSON of everything the determinism contract covers."""
+    sig = baseline.capture(
+        result.merged_profiler(), scenario="parallel-farm-test",
+        extra={
+            "requests_completed": result.requests_completed,
+            "failures": result.failures,
+            "resumed_handshakes": result.resumed_handshakes,
+            "cross_worker_resumptions": result.cross_worker_resumptions,
+            "wire_bytes": result.wire_bytes,
+            "bytes_served": result.bytes_served,
+            "batched_ops": result.batched_ops,
+            "batches": {str(k): v
+                        for k, v in sorted(result.batch_histogram().items())},
+            "per_worker_cycles": [r.profiler.total_cycles()
+                                  for r in result.results],
+            "shard_stats": result.shard_stats,
+        })
+    return baseline.canonical_json(sig)
+
+
+def run_farm(identity, *, nworkers=4, parallel=0, policy="round-robin",
+             topology=PARTITIONED, key_set=None, nrequests=12,
+             resumption_rate=0.5):
+    key, cert = identity
+    rsa.reset_error_tables()
+    farm = ServerFarm(nworkers, topology=topology, policy=policy,
+                      key=key, cert=cert, use_crt=True, key_set=key_set,
+                      batch_size=2 if key_set is not None else None)
+    result = farm.run(workload(resumption_rate), nrequests,
+                      concurrency_per_worker=2, parallel=parallel)
+    return result
+
+
+class TestParallelBitIdentity:
+    @pytest.mark.parametrize("nprocs", [2, 4])
+    def test_partitioned_round_robin(self, identity512, nprocs):
+        serial = run_farm(identity512, parallel=0)
+        par = run_farm(identity512, parallel=nprocs)
+        assert par.backend == f"parallel:{nprocs}"
+        assert signature(par) == signature(serial)
+
+    def test_partitioned_affinity(self, identity512):
+        serial = run_farm(identity512, policy="session-affinity")
+        par = run_farm(identity512, policy="session-affinity", parallel=2)
+        assert par.backend == "parallel:2"
+        assert signature(par) == signature(serial)
+
+    def test_partitioned_least_connections(self, identity512):
+        serial = run_farm(identity512, policy="least-connections")
+        par = run_farm(identity512, policy="least-connections", parallel=4)
+        assert signature(par) == signature(serial)
+
+    def test_batch_rsa_farm(self, identity512, batch_keys):
+        serial = run_farm(identity512, nworkers=2, key_set=batch_keys,
+                          resumption_rate=0.25, nrequests=8)
+        par = run_farm(identity512, nworkers=2, key_set=batch_keys,
+                       resumption_rate=0.25, nrequests=8, parallel=2)
+        assert par.backend == "parallel:2"
+        assert par.batched_ops == serial.batched_ops > 0
+        assert signature(par) == signature(serial)
+
+    def test_faithful_backend_ships_to_children(self, identity512):
+        # Children must inherit the runtime fastpath setting, not re-read
+        # the environment: tests toggle it at runtime.
+        with runtime.fastpath(False):
+            serial = run_farm(identity512, nworkers=2, nrequests=4)
+            par = run_farm(identity512, nworkers=2, nrequests=4, parallel=2)
+        assert signature(par) == signature(serial)
+
+    def test_matches_committed_perfgate_baseline(self):
+        # The parallel run of the partitioned perfgate scenario must match
+        # the baseline that was *recorded serially* and committed.
+        from pathlib import Path
+
+        from repro.tools.perfgate import baseline_path, capture_scenario
+        path = baseline_path(Path("baselines"), "farm_2workers_partitioned")
+        committed = baseline.load_json(path)
+        with runtime.parallel(2):
+            fresh = capture_scenario("farm_2workers_partitioned")
+        assert baseline.diff_signatures(committed, fresh) == []
+
+
+class TestBackendSelection:
+    def test_shared_topology_serial_fallback(self, identity512):
+        # Same-round read-after-write on the one shared cache cannot be
+        # partitioned across processes; the run must stay serial and say so.
+        serial = run_farm(identity512, topology=SHARED, parallel=0)
+        par = run_farm(identity512, topology=SHARED, parallel=4)
+        assert par.backend == "serial"
+        assert signature(par) == signature(serial)
+
+    def test_env_knob_engages_pool(self, identity512):
+        with runtime.parallel(2):
+            result = run_farm(identity512, parallel=None)
+        assert result.backend == "parallel:2"
+
+    def test_env_knob_default_is_serial(self, identity512):
+        result = run_farm(identity512, nworkers=2, nrequests=4,
+                          parallel=None)
+        assert result.backend == "serial"
+
+    def test_pool_clamped_to_worker_count(self, identity512):
+        result = run_farm(identity512, nworkers=2, nrequests=4, parallel=8)
+        assert result.backend == "parallel:2"
+
+    def test_parallel_one_is_serial(self, identity512):
+        result = run_farm(identity512, nworkers=2, nrequests=4, parallel=1)
+        assert result.backend == "serial"
+
+    def test_wall_seconds_recorded(self, identity512):
+        result = run_farm(identity512, nworkers=2, nrequests=4)
+        assert result.wall_seconds > 0.0
+        other = run_farm(identity512, nworkers=2, nrequests=4)
+        assert other.wall_speedup_over(result) > 0.0
+
+    def test_set_parallel_rejects_negative(self):
+        with pytest.raises(ValueError):
+            runtime.set_parallel(-1)
+
+    def test_spawn_start_method(self, identity512, monkeypatch):
+        # Spawn children import everything fresh; the run must still be
+        # bit-identical (one small run -- spawn startup is expensive).
+        monkeypatch.setenv("REPRO_PARALLEL_START", "spawn")
+        serial = run_farm(identity512, nworkers=2, nrequests=4)
+        par = run_farm(identity512, nworkers=2, nrequests=4, parallel=2)
+        assert par.backend == "parallel:2"
+        assert signature(par) == signature(serial)
+
+    def test_bad_start_method_rejected(self, identity512, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_START", "bogus")
+        with pytest.raises(ValueError, match="REPRO_PARALLEL_START"):
+            run_farm(identity512, nworkers=2, nrequests=4, parallel=2)
+
+
+class TestClientPoolMirror:
+    def test_reads_only_injected_offer(self):
+        mirror = _ClientPoolMirror(3)
+        assert not mirror
+        with pytest.raises(IndexError):
+            mirror[-1]
+        mirror.offered = object()
+        assert mirror
+        assert mirror[-1] is mirror.offered
+        with pytest.raises(IndexError):
+            mirror[0]
+
+    def test_collects_minted_sessions(self):
+        mirror = _ClientPoolMirror(0)
+        s1, s2 = object(), object()
+        mirror.append(s1)
+        mirror.append(s2)
+        assert mirror.minted == [s1, s2]
+        assert not mirror  # minted sessions are not offerable locally
+
+    def test_mirror_pickles(self):
+        mirror = _ClientPoolMirror(1)
+        clone = pickle.loads(pickle.dumps(mirror))
+        assert clone.current_worker == 1
+        assert clone.minted == []

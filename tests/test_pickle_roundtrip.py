@@ -1,0 +1,178 @@
+"""Pickle round trips for everything the parallel farm ships across
+process boundaries: profilers (with CPU-model identity), SSL servers,
+session caches, batch-RSA keyset partitions and whole RSA keys.
+
+The bar is not "unpickles without raising": objects that carry modeled
+state must charge the *same cycles* after a round trip as before --
+that's what makes the process-parallel backend's merge cycle-exact.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import perf
+from repro.crypto.batch_rsa import BatchRsaDecryptor, generate_batch_keys
+from repro.crypto.rand import PseudoRandom
+from repro.perf import baseline
+from repro.perf.cpu import PENTIUM3, PENTIUM4, WIDE_CORE, CpuModel
+from repro.perf.isa import MixAccumulator, mix
+from repro.perf.profiler import Profiler
+from repro.perf.trace import merge_profilers
+from repro.ssl import DES_CBC3_SHA
+from repro.ssl.loopback import run_session
+from repro.ssl.session import SessionCache, SslSession
+
+from tests.test_fastpath_equivalence import snapshot
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+@pytest.fixture(scope="module")
+def batch_keys():
+    return generate_batch_keys(512, 4, rng=PseudoRandom(b"pkl-batch"))
+
+
+class TestCpuModelInterning:
+    @pytest.mark.parametrize("model", [PENTIUM4, PENTIUM3, WIDE_CORE])
+    def test_singletons_survive_identically(self, model):
+        assert roundtrip(model) is model
+
+    def test_custom_model_interns_once(self):
+        custom = CpuModel(name="custom", frequency_hz=1.5e9,
+                          costs=dict(PENTIUM4.costs))
+        first = roundtrip(custom)
+        assert roundtrip(custom) is first
+        assert first.costs == custom.costs
+
+    def test_nested_references_collapse(self):
+        # Two profilers over PENTIUM4 pickled together come back sharing
+        # the one canonical model (merge checks CPU by identity).
+        a, b = Profiler(), Profiler()
+        ra, rb = roundtrip((a, b))
+        assert ra.cpu is rb.cpu is PENTIUM4
+
+
+class TestProfilerRoundTrip:
+    def charged_profiler(self) -> Profiler:
+        profiler = Profiler()
+        with perf.activate(profiler):
+            with perf.region("outer"):
+                perf.charge(mix(movl=100, mull=10), times=3,
+                            function="f", module="m")
+                with perf.region("inner"):
+                    perf.charge(mix(addl=7), times=2.5, function="g")
+        return profiler
+
+    def test_modeled_cycles_identical(self):
+        profiler = self.charged_profiler()
+        clone = roundtrip(profiler)
+        # Serializing folds the source's pending mix entries in place
+        # (observation-transparent), so compare after the dumps.
+        assert snapshot(clone) == snapshot(profiler)
+        assert clone.total_cycles() == profiler.total_cycles()
+
+    def test_full_signature_identical(self):
+        profiler = self.charged_profiler()
+        clone = roundtrip(profiler)
+        a = baseline.canonical_json(baseline.capture(profiler, scenario="t"))
+        b = baseline.canonical_json(baseline.capture(clone, scenario="t"))
+        assert a == b
+
+    def test_unpickled_profiler_merges(self):
+        # The original parallel-farm failure mode: merge_profilers
+        # compares CPU models by identity, which only survives the pickle
+        # boundary because CpuModel interns on unpickle.
+        profiler = self.charged_profiler()
+        clone = roundtrip(profiler)
+        merged = merge_profilers(Profiler(), profiler, clone)
+        assert merged.total_cycles() == 2 * profiler.total_cycles()
+
+    def test_accumulator_folds_on_serialize(self):
+        acc = MixAccumulator()
+        acc.add(mix(movl=5), times=2.0)
+        clone = roundtrip(acc)
+        assert clone.total() == acc.total() == 10.0
+        assert clone.snapshot() == acc.snapshot()
+
+    def test_live_session_profiler_roundtrip(self, identity512):
+        key, cert = identity512
+        result = run_session(b"x" * 512, suite=DES_CBC3_SHA, key=key,
+                             cert=cert, seed=b"pkl-prof")
+        clone = roundtrip(result.server_profiler)
+        assert snapshot(clone) == snapshot(result.server_profiler)
+
+
+class TestSslServerRoundTrip:
+    def test_completed_server_state_survives(self, identity512):
+        key, cert = identity512
+        result = run_session(b"ping" * 64, suite=DES_CBC3_SHA, key=key,
+                             cert=cert, seed=b"pkl-server")
+        server = result.server
+        clone = roundtrip(server)
+        assert clone.master_secret == server.master_secret
+        assert clone.resumed == server.resumed
+        assert clone.stats.bytes_sent == server.stats.bytes_sent
+        assert clone.stats.bytes_received == server.stats.bytes_received
+        assert clone._session_id == server._session_id
+
+    def test_server_key_still_charges_identically(self, identity512):
+        key, _ = identity512
+        clone = roundtrip(key)
+        rng = PseudoRandom(b"pkl-ct")
+        ciphertext = key.public().encrypt(b"secret-premaster", rng)
+        p1, p2 = Profiler(), Profiler()
+        with perf.activate(p1):
+            original_out = key.replica().decrypt(ciphertext)
+        with perf.activate(p2):
+            clone_out = clone.replica().decrypt(ciphertext)
+        assert original_out == clone_out == b"secret-premaster"
+        assert snapshot(p1) == snapshot(p2)
+
+
+class TestSessionCacheRoundTrip:
+    def make_session(self, tag: bytes) -> SslSession:
+        return SslSession(session_id=tag.ljust(32, b"\1"),
+                          cipher_suite_id=DES_CBC3_SHA.suite_id,
+                          master_secret=b"m" * 48, created_at=1.0)
+
+    def test_contents_and_stats_survive(self):
+        cache = SessionCache(4)
+        sessions = [self.make_session(bytes([i + 1])) for i in range(6)]
+        for s in sessions:
+            cache.put(s)
+        cache.get(sessions[-1].session_id, now=2.0)
+        cache.get(b"absent".ljust(32, b"\1"), now=2.0)
+        clone = roundtrip(cache)
+        assert clone.stats() == cache.stats()
+        hit = clone.get(sessions[-1].session_id, now=2.0)
+        assert hit is not None
+        assert hit.master_secret == sessions[-1].master_secret
+
+
+class TestBatchKeySetRoundTrip:
+    def test_partition_shards_decrypt_identically(self, batch_keys):
+        shards = batch_keys.partition(2)
+        clones = roundtrip(shards)
+        rng = PseudoRandom(b"pkl-batch-ct")
+        for shard, clone in zip(shards, clones):
+            assert clone.exponents == shard.exponents
+            items = [(i, member.public().encrypt(b"pm-%d" % i, rng))
+                     for i, member in enumerate(shard.members)]
+            p1, p2 = Profiler(), Profiler()
+            with perf.activate(p1):
+                out1 = BatchRsaDecryptor(shard).decrypt_batch(items)
+            with perf.activate(p2):
+                out2 = BatchRsaDecryptor(clone).decrypt_batch(items)
+            assert out1 == out2
+            assert all(out1)
+            assert snapshot(p1) == snapshot(p2)
+
+    def test_members_keep_shared_modulus(self, batch_keys):
+        clone = roundtrip(batch_keys)
+        assert clone.n == batch_keys.n
+        assert all(m.n == batch_keys.n for m in clone.members)
