@@ -3,11 +3,15 @@ fixed, bit-identical modeled result.
 
 The farm's modeled numbers (cycles, capacity, cache behaviour) are
 independent of the host execution backend -- that is the determinism
-contract pinned by ``tests/test_parallel_farm.py`` and re-verified here
-for every point.  What *does* change with the backend is how long the
-host takes: this benchmark times the same partitioned-farm workload
-serially and through pools of 1/2/4/8 worker processes and reports the
-wall-clock speedup.
+contract pinned by ``tests/test_parallel_farm.py`` and
+``tests/test_parallel_shared.py``, re-verified here for every point.
+What *does* change with the backend is how long the host takes: this
+benchmark times the same farm workload serially and through pools of
+1/2/4/8 worker processes -- for **both** cache topologies, since the
+shared topology pays an extra round-boundary cache synchronisation
+(admissions carry cache entries out, reports carry mutation logs back)
+that the partitioned topology does not -- and reports the wall-clock
+speedup per topology.
 
 Two caveats make this artifact honest rather than flattering:
 
@@ -36,12 +40,13 @@ import pathlib
 from repro.crypto import rsa
 from repro.perf import baseline
 from repro.ssl.loopback import make_server_identity
-from repro.webserver import PARTITIONED, RequestWorkload, ServerFarm
+from repro.webserver import PARTITIONED, SHARED, RequestWorkload, ServerFarm
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUT_PATH = REPO_ROOT / "BENCH_parallel_farm.json"
 
 POOL_SIZES = (0, 1, 2, 4, 8)  # 0 = serial reference
+TOPOLOGIES = (PARTITIONED, SHARED)
 NWORKERS = 8
 NREQUESTS = 24
 CONCURRENCY_PER_WORKER = 2
@@ -57,9 +62,9 @@ def usable_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def run_point(key, cert, parallel: int) -> dict:
+def run_point(key, cert, topology: str, parallel: int) -> dict:
     rsa.reset_error_tables()
-    farm = ServerFarm(NWORKERS, topology=PARTITIONED, key=key, cert=cert,
+    farm = ServerFarm(NWORKERS, topology=topology, key=key, cert=cert,
                       use_crt=True)
     workload = RequestWorkload.fixed(FILE_SIZE,
                                      resumption_rate=RESUMPTION_RATE)
@@ -71,9 +76,13 @@ def run_point(key, cert, parallel: int) -> dict:
         extra={"requests_completed": result.requests_completed,
                "failures": result.failures,
                "resumed_handshakes": result.resumed_handshakes,
-               "wire_bytes": result.wire_bytes}))
+               "cross_worker_resumptions": result.cross_worker_resumptions,
+               "wire_bytes": result.wire_bytes,
+               "shard_stats": result.shard_stats}))
     return {
+        "topology": topology,
         "requested_pool": parallel,
+        "effective_pool": result.parallel_effective,
         "backend": result.backend,
         "wall": {"seconds": round(result.wall_seconds, 6)},
         "modeled": {
@@ -91,27 +100,30 @@ def main() -> dict:
     key, cert = make_server_identity(KEY_BITS, seed=b"parallel-bench")
     # Warm the identity once outside the timed region, mirroring the
     # pre-fork warmup the parallel backend itself relies on.
-    run_point(key, cert, 0)
+    run_point(key, cert, PARTITIONED, 0)
 
     points = []
-    for pool in POOL_SIZES:
-        point = run_point(key, cert, pool)
-        points.append(point)
-        print(f"pool={pool}  backend={point['backend']:12s}  "
-              f"wall={point['wall']['seconds']:.3f}s  "
-              f"cycles={point['modeled']['total_cycles']:.0f}")
-
-    reference = points[0]
-    signatures = {p["_signature"] for p in points}
-    if len(signatures) != 1:
-        raise SystemExit("modeled results diverged across backends -- "
-                         "the determinism contract is broken")
-    for point in points:
-        ref_wall = reference["wall"]["seconds"]
-        point["wall"]["speedup_vs_serial"] = round(
-            ref_wall / point["wall"]["seconds"], 3) if point["wall"][
-                "seconds"] > 0 else 0.0
-        del point["_signature"]
+    for topology in TOPOLOGIES:
+        reference = None
+        signatures = set()
+        for pool in POOL_SIZES:
+            point = run_point(key, cert, topology, pool)
+            signatures.add(point.pop("_signature"))
+            if reference is None:
+                reference = point
+            ref_wall = reference["wall"]["seconds"]
+            point["wall"]["speedup_vs_serial"] = round(
+                ref_wall / point["wall"]["seconds"], 3) if point["wall"][
+                    "seconds"] > 0 else 0.0
+            points.append(point)
+            print(f"topology={topology:12s} pool={pool}  "
+                  f"backend={point['backend']:12s}  "
+                  f"wall={point['wall']['seconds']:.3f}s  "
+                  f"cycles={point['modeled']['total_cycles']:.0f}")
+        if len(signatures) != 1:
+            raise SystemExit(
+                f"modeled {topology} results diverged across backends -- "
+                "the determinism contract is broken")
 
     out = {
         "config": {
@@ -121,24 +133,25 @@ def main() -> dict:
             "file_size_bytes": FILE_SIZE,
             "key_bits": KEY_BITS,
             "resumption_rate": RESUMPTION_RATE,
-            "topology": PARTITIONED,
+            "topologies": list(TOPOLOGIES),
             "pool_sizes": list(POOL_SIZES),
         },
         "host": {
             "cpu_count": os.cpu_count(),
             "usable_cpus": usable_cpus(),
             "note": "wall-clock speedup is bounded by usable_cpus; "
-                    "modeled cycles are backend-invariant (verified "
-                    "above by signature equality)",
+                    "modeled cycles are backend-invariant per topology "
+                    "(verified above by signature equality)",
         },
         "modeled_signature_identical_across_backends": True,
         "points": points,
     }
     baseline.write_json(OUT_PATH, out)
     print(f"\nwrote {OUT_PATH}")
-    for point in points[1:]:
-        print(f"  pool={point['requested_pool']}: "
-              f"{point['wall']['speedup_vs_serial']}x vs serial")
+    for point in points:
+        if point["requested_pool"]:
+            print(f"  {point['topology']} pool={point['requested_pool']}: "
+                  f"{point['wall']['speedup_vs_serial']}x vs serial")
     return out
 
 

@@ -20,7 +20,7 @@ from .record import (
     TLS1_VERSION,
 )
 from .server import SslServer
-from .session import SessionCache, SslSession
+from .session import CacheReplayDivergence, SessionCache, SslSession
 from .trace import TraceEvent, WireTracer, format_trace
 from .x509 import (
     Certificate, make_ca_signed_pair, make_self_signed, verify_chain,
@@ -40,7 +40,7 @@ __all__ = [
     "pump", "run_session",
     "ConnectionState", "ContentType", "KeyMaterial", "RecordLayer",
     "SSL3_VERSION", "TLS1_VERSION",
-    "SessionCache", "SslSession",
+    "CacheReplayDivergence", "SessionCache", "SslSession",
     "TraceEvent", "WireTracer", "format_trace",
     "Certificate", "make_ca_signed_pair", "make_self_signed",
     "verify_chain",

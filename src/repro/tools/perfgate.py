@@ -284,6 +284,10 @@ def _farm_signature(result) -> Tuple[Profiler, Dict[str, Any]]:
         "cross_worker_resumptions": result.cross_worker_resumptions,
         "wire_bytes": result.wire_bytes,
         "per_worker_cycles": [w.cycles for w in result.worker_stats()],
+        # Session-cache hit/miss/eviction counters per shard: the
+        # shared-topology round-boundary sync must leave them (and the
+        # cache occupancy) exactly where the serial loop does.
+        "shard_stats": result.shard_stats,
     }
 
 
@@ -311,6 +315,25 @@ def _farm_2workers_partitioned():
     # No explicit ``parallel=``: the run honors REPRO_PARALLEL, which is
     # exactly the point -- the signature must not depend on it.
     result = farm.run(workload, 6, concurrency_per_worker=2)
+    return _farm_signature(result)
+
+
+@scenario("farm_2workers_shared", "Farm scaling",
+          "Two-worker shared-cache farm with cross-worker resumption; "
+          "eligible for the process-parallel backend (round-boundary "
+          "cache sync), so CI checks it under REPRO_PARALLEL settings "
+          "against this one baseline")
+def _farm_2workers_shared():
+    from ..webserver import RequestWorkload, ServerFarm, SHARED
+    key, cert = _identity(seed=b"pg-farm-shared")
+    farm = ServerFarm(2, topology=SHARED, key=key, cert=cert, use_crt=True)
+    workload = RequestWorkload.fixed(2048, resumption_rate=0.5)
+    # No explicit ``parallel=``: honors REPRO_PARALLEL, like the
+    # partitioned scenario -- a parallel run must reproduce the serially
+    # recorded signature, shared-cache counters included.
+    result = farm.run(workload, 8, concurrency_per_worker=2)
+    assert result.cross_worker_resumptions > 0, \
+        "shared farm scenario stopped exercising cross-worker resumption"
     return _farm_signature(result)
 
 

@@ -215,6 +215,18 @@ class FarmResult:
     #: ``"parallel:<nprocs>"``.  Modeled results are bit-identical across
     #: backends; this field only reports how the host executed the run.
     backend: str = "serial"
+    #: Host parallelism the ``run()`` call asked for, after resolving
+    #: ``parallel=None`` against ``REPRO_PARALLEL`` (0/1 mean serial) --
+    #: recorded before any clamping, so degradation is detectable.
+    parallel_requested: int = 0
+    #: Worker processes that actually drove scheduling rounds: ``1`` for
+    #: the in-process serial loop (including a parallel request whose
+    #: serial prefix consumed the whole workload), the pool size
+    #: otherwise.  A caller (or benchmark) that requested ``N > 1`` can
+    #: compare the two fields instead of parsing :attr:`backend`:
+    #: ``parallel_effective < min(parallel_requested, nworkers)`` means
+    #: the run degraded.
+    parallel_effective: int = 1
 
     # -- aggregates ---------------------------------------------------------
     @property
@@ -537,10 +549,18 @@ class ServerFarm:
         loop, and ``N > 1`` drives the per-worker loops through ``N``
         OS processes (:mod:`repro.webserver.parallel`).  The backend is
         *not observable* in the modeled results: cycles, transcripts and
-        cache counters are bit-identical either way.  The shared-cache
-        topology always runs serially (same-round read-after-write on the
-        one cache cannot be partitioned across processes); ``parallel``
-        is silently clamped to the worker count.
+        cache counters are bit-identical either way.  Both topologies
+        fan out -- the partitioned topology ships whole cache shards
+        with the worker states, while the shared topology keeps the one
+        cache authoritative in the parent and synchronises it at round
+        boundaries (admissions carry the entries a round can look up;
+        reports carry each worker's mutation log back for a
+        worker-index-order replay).  ``parallel`` is clamped to the
+        worker count; the result records both the requested and the
+        effective parallelism (:attr:`FarmResult.parallel_requested` /
+        :attr:`FarmResult.parallel_effective`) so callers can detect the
+        degradation instead of inferring it from :attr:`FarmResult.
+        backend`.
         """
         if requests_per_connection < 1:
             raise ValueError("requests_per_connection must be >= 1")
@@ -565,14 +585,16 @@ class ServerFarm:
         self._parallel_active = None
         pending = deque(groups)
 
-        nprocs = min(int(parallel or 0), self.nworkers)
-        if nprocs > 1 and self.topology == PARTITIONED:
+        requested = int(parallel or 0)
+        nprocs = min(requested, self.nworkers)
+        if nprocs > 1:
             from .parallel import run_parallel
             result = run_parallel(self, pending, nprocs)
-            result.wall_seconds = time.perf_counter() - start
-            return result
-
-        result = self._run_serial(pending)
+        else:
+            result = self._run_serial(pending)
+        result.parallel_requested = requested
+        result.parallel_effective = (
+            nprocs if result.backend.startswith("parallel") else 1)
         result.wall_seconds = time.perf_counter() - start
         return result
 

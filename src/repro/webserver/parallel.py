@@ -11,29 +11,36 @@ scheduling loop touches between worker rounds:
 * the farm-global **client session pool** (clients resume against
   whichever worker they land on next, so worker A's minted session must
   be offerable to worker B one round later);
+* the one **shared server-side session cache** under the ``shared``
+  topology (mod_ssl's shared-memory cache): every worker's lookups,
+  stores, expiry drops and LRU evictions mutate one structure whose
+  counters the run reports;
 * one **process-global one-shot charge**: OpenSSL loads its error
   strings the first time any RSA private decryption runs
   (``ERR_load_BN_strings``, see :mod:`repro.crypto.rsa`), and the paper's
   cost model charges it exactly once per process lifetime.
 
-This module keeps all three in the parent and runs the per-worker inner
+This module keeps all four in the parent and runs the per-worker inner
 loops -- the *same* ``_run_worker_round`` the serial path executes -- in
 child processes, synchronised once per scheduling round ("lockstep").
 Because the serial loop already quantises all cross-worker interaction
 to round boundaries (the pool is read only at admission, written only at
-connection close; the policy runs only at admission), replaying the
-round structure reproduces the serial interleaving *exactly*: modeled
-cycles, transcripts, cache counters and batch histograms are
-bit-identical to ``ServerFarm.run`` with ``parallel=0``, enforced
-against the committed baselines by ``tests/test_parallel_farm.py`` and
-the CI parallel-farm smoke job.
+connection close; the policy runs only at admission; a shared-cache
+lookup can only target a session that finished -- and was therefore
+stored -- in a strictly earlier round), replaying the round structure
+reproduces the serial interleaving *exactly*: modeled cycles,
+transcripts, cache counters and batch histograms are bit-identical to
+``ServerFarm.run`` with ``parallel=0``, enforced against the committed
+baselines by ``tests/test_parallel_farm.py`` /
+``tests/test_parallel_shared.py`` and the CI parallel-farm smoke job.
 
 Protocol (one duplex pipe per child process)::
 
     parent -> child   ("init",   {fastpath, err_tables, states})
     parent -> child   ("round",  {worker: [(txn_id, group, offered,
-                                            owner), ...]})
-    child  -> parent  ("report", {worker: (minted, cross, active)})
+                                            owner, cache_entry), ...]})
+    child  -> parent  ("report", {worker: (minted, cross, active,
+                                           cache_ops)})
     parent -> child   ("finish",)
     child  -> parent  ("done",   [worker states])
     child  -> parent  ("error",  traceback text)   -- any time
@@ -50,6 +57,27 @@ Determinism notes:
 * **Minted sessions** travel back in the round report and are appended
   to the parent pool in worker-index order -- the order the serial loop
   appends them -- before the next round's admissions read the pool.
+* **The shared session cache** stays authoritative in the parent and is
+  synchronised at round boundaries.  The only lookups a round can issue
+  are for the sessions its own admissions offered (a ClientHello is
+  processed on a transaction's first step, in its admission round), so
+  the parent ships, with each admission, the authoritative cache entry
+  for the offered id -- a view of the one cache *sufficient for that
+  round's lookups*.  Inside the child a
+  :class:`~repro.webserver.parallel._SharedCacheMirror` serves those
+  entries (applying the worker's own clock for expiry, exactly like
+  :meth:`~repro.ssl.session.SessionCache.get`) and records every touch
+  -- hits, misses, expiry drops, stores -- as a mutation log.  The
+  round report carries the per-worker logs back and the parent replays
+  them in worker-index order through
+  :meth:`~repro.ssl.session.SessionCache.replay`, so the real cache's
+  contents, LRU order and ``stats()`` counters are the serial ones by
+  construction.  A replayed lookup that disagrees with what the worker
+  observed (possible only when two workers race on the same entry
+  within one round: an expiry-boundary duplicate offer, or a capacity
+  eviction landing on the session another worker is resuming) raises
+  :class:`~repro.ssl.session.CacheReplayDivergence` rather than merging
+  a result that is no longer bit-identical.
 * **The ERR_LOAD one-shot** cannot be fanned out: each child starts with
   its own unset flag, so naive parallelism would charge it once per
   process (or in the wrong worker's clock).  Instead the run begins with
@@ -84,7 +112,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 
 from .. import runtime
 from ..crypto import rsa
-from ..ssl.session import SslSession
+from ..ssl.session import CacheOp, SslSession
 from .simulator import _Transaction
 from .workload import Request
 
@@ -128,6 +156,66 @@ class _ClientPoolMirror:
         return self.offered
 
 
+class _SharedCacheMirror:
+    """Child-side stand-in for the farm's one shared ``SessionCache``.
+
+    The authoritative cache lives in the parent.  Per scheduling round
+    the mirror is loaded with the cache entries the round's admissions
+    can look up (:attr:`entries`, keyed by session id -- the
+    round-boundary "view sufficient for this round's lookups"), serves
+    :meth:`get` against them with the same expiry semantics as the real
+    cache, and records every touch in :attr:`ops` as a replayable
+    mutation log (see :meth:`~repro.ssl.session.SessionCache.replay`).
+
+    The mirror holds no LRU order and no counters: eviction decisions
+    and ``stats()`` accounting belong to the parent's replay, which
+    re-executes each logged ``get``/``put``/``remove`` on the real cache
+    in serial worker order.  An expiry drop *is* applied locally (the
+    entry leaves :attr:`entries`) so a second lookup of the same id
+    later in the same round -- the serial loop's same-worker
+    read-after-drop -- misses here too.
+
+    One mirror per child process, shared by all its worker states
+    (exactly as the real cache is shared by all workers); per-worker op
+    logs are separated by draining :meth:`take_ops` after each worker's
+    round.
+    """
+
+    def __init__(self) -> None:
+        self.entries: Dict[bytes, SslSession] = {}
+        self.ops: List[CacheOp] = []
+
+    def begin_round(self) -> None:
+        self.entries.clear()
+        self.ops.clear()
+
+    def take_ops(self) -> List[CacheOp]:
+        """Drain the mutation log recorded since the last drain."""
+        ops, self.ops = self.ops, []
+        return ops
+
+    # -- the SessionCache surface the server touches ------------------------
+    def get(self, session_id: bytes,
+            now: Optional[float] = None) -> Optional[SslSession]:
+        session = self.entries.get(session_id)
+        if session is None:
+            self.ops.append(("get", session_id, now, False))
+            return None
+        if now is not None and session.expired_at(now):
+            del self.entries[session_id]
+            self.ops.append(("get", session_id, now, False))
+            return None
+        self.ops.append(("get", session_id, now, True))
+        return session
+
+    def put(self, session: SslSession) -> None:
+        self.ops.append(("put", session))
+
+    def remove(self, session_id: bytes) -> None:
+        self.entries.pop(session_id, None)
+        self.ops.append(("remove", session_id))
+
+
 def _start_method() -> str:
     override = os.environ.get("REPRO_PARALLEL_START", "").strip().lower()
     available = multiprocessing.get_all_start_methods()
@@ -166,16 +254,28 @@ def _worker_main(conn) -> None:
         # Imported here so a spawn child pays for it once, after init.
         from .farm import _run_worker_round
         states: List["_WorkerState"] = payload["states"]
+        # Under the shared topology every shipped state references one
+        # _SharedCacheMirror (the pickle memo preserves the sharing, just
+        # as the real cache is shared); partitioned states carry their
+        # own private shards and no mirror.
+        cache = states[0].sim._session_cache
+        cache_mirror = cache if isinstance(cache, _SharedCacheMirror) \
+            else None
         while True:
             msg = conn.recv()
             if msg[0] == "round":
                 admissions: Dict[int, list] = msg[1]
+                if cache_mirror is not None:
+                    cache_mirror.begin_round()
                 # Admission first for every worker, then every worker's
                 # round -- the serial phase order.
                 for state in states:
                     mirror = state.sim._client_sessions
-                    for txn_id, group, offered, owner in admissions.get(
-                            state.index, ()):
+                    for (txn_id, group, offered, owner,
+                         cache_entry) in admissions.get(state.index, ()):
+                        if cache_entry is not None:
+                            cache_mirror.entries[
+                                cache_entry.session_id] = cache_entry
                         mirror.offered = offered
                         txn = _Transaction(state.sim, txn_id, group,
                                            state.profiler, state.result)
@@ -186,8 +286,10 @@ def _worker_main(conn) -> None:
                 for state in states:
                     mirror = state.sim._client_sessions
                     cross = _run_worker_round(state, mirror)
+                    cache_ops = (cache_mirror.take_ops()
+                                 if cache_mirror is not None else [])
                     report[state.index] = (mirror.minted, cross,
-                                           len(state.active))
+                                           len(state.active), cache_ops)
                 conn.send(("report", report))
                 for state in states:
                     state.sim._client_sessions.minted = []
@@ -207,12 +309,44 @@ def _worker_main(conn) -> None:
         conn.close()
 
 
-def _recv(conn):
-    msg = conn.recv()
+def _recv(conn, proc, workers: List[int]):
+    """Receive one protocol message, turning every way a child can die
+    into a diagnostic that names the dead worker process.
+
+    A child that hits an exception sends an ``("error", traceback)``
+    message; a child that dies outright (killed, segfaulted interpreter,
+    ``os._exit``) just closes its end of the pipe, which surfaces here as
+    ``EOFError`` -- wrapped rather than leaked, with the worker indices
+    and exit code attached.
+    """
+    try:
+        msg = conn.recv()
+    except EOFError:
+        proc.join(timeout=5)
+        exitcode = proc.exitcode
+        raise RuntimeError(
+            f"parallel farm worker process for workers {workers} died "
+            f"mid-protocol (exit code {exitcode})") from None
     if msg[0] == "error":
         raise RuntimeError(
-            "parallel farm worker process failed:\n" + msg[1])
+            f"parallel farm worker process for workers {workers} "
+            f"failed:\n{msg[1]}")
     return msg
+
+
+def _join_worker(proc, workers: List[int], timeout: float = 10.0) -> None:
+    """Join a finished child and raise -- rather than silently letting
+    the ``finally`` cleanup terminate it -- if it hangs past ``timeout``
+    or exited with a nonzero status."""
+    proc.join(timeout=timeout)
+    if proc.is_alive():
+        raise RuntimeError(
+            f"parallel farm worker process for workers {workers} did "
+            f"not exit within {timeout:g}s of the finish message")
+    if proc.exitcode:
+        raise RuntimeError(
+            f"parallel farm worker process for workers {workers} "
+            f"exited with code {proc.exitcode}")
 
 
 def run_parallel(farm: "ServerFarm", pending: "deque[List[Request]]",
@@ -244,6 +378,19 @@ def run_parallel(farm: "ServerFarm", pending: "deque[List[Request]]",
     proc_of = {i: p for p in range(nprocs) for i in workers_of[p]}
     for state in states:
         state.sim._client_sessions = _ClientPoolMirror(state.index)
+    shared_cache = farm._shared_cache
+    if shared_cache is not None:
+        # One mirror replaces the one shared cache on every state that
+        # ships (per child, the pickle memo collapses it back to a single
+        # object).  In-flight transactions from the serial prefix hold
+        # their own reference to the cache inside their server objects;
+        # rebind those too or their session stores would mutate a
+        # stale pickled copy instead of entering the mutation log.
+        cache_stub = _SharedCacheMirror()
+        for state in states:
+            state.sim._session_cache = cache_stub
+            for txn in state.active:
+                txn.server._cache = cache_stub
 
     ctx = multiprocessing.get_context(_start_method())
     procs: List = []
@@ -274,22 +421,31 @@ def run_parallel(farm: "ServerFarm", pending: "deque[List[Request]]",
                 if plan is None:
                     break
                 worker, offered, owner = plan
+                # The round-boundary cache view: the only session this
+                # admission's handshake can look up is the one it offers,
+                # so the authoritative entry (or its absence) rides along.
+                cache_entry = (shared_cache.peek(offered.session_id)
+                               if shared_cache is not None
+                               and offered is not None else None)
                 group = pending.popleft()
                 admissions[proc_of[worker]].setdefault(worker, []).append(
-                    (txn_id, group, offered, owner))
+                    (txn_id, group, offered, owner, cache_entry))
                 active[worker] += 1
                 txn_id += 1
             for p in range(nprocs):
                 conns[p].send(("round", admissions[p]))
-            reports = [_recv(conns[p])[1] for p in range(nprocs)]
+            reports = [_recv(conns[p], procs[p], workers_of[p])[1]
+                       for p in range(nprocs)]
             # Fold round effects in worker-index order -- the order the
-            # serial loop iterates workers, hence the order sessions
-            # land in the pool.
+            # serial loop iterates workers, hence the order sessions land
+            # in the pool and cache mutations land in the shared cache.
             for i in range(farm.nworkers):
-                minted, delta, count = reports[proc_of[i]][i]
+                minted, delta, count, cache_ops = reports[proc_of[i]][i]
                 pool.current_worker = i
                 for session in minted:
                     pool.append(session)
+                if cache_ops:
+                    shared_cache.replay(cache_ops)
                 cross += delta
                 active[i] = count
 
@@ -297,12 +453,14 @@ def run_parallel(farm: "ServerFarm", pending: "deque[List[Request]]",
         for p in range(nprocs):
             conns[p].send(("finish",))
         for p in range(nprocs):
-            for state in _recv(conns[p])[1]:
+            for state in _recv(conns[p], procs[p], workers_of[p])[1]:
                 state.sim._client_sessions = pool
+                if shared_cache is not None:
+                    state.sim._session_cache = shared_cache
                 farm._states[state.index] = state
                 farm._sims[state.index] = state.sim
-        for proc in procs:
-            proc.join(timeout=10)
+        for p in range(nprocs):
+            _join_worker(procs[p], workers_of[p])
     finally:
         farm._parallel_active = None
         for conn in conns:

@@ -3,9 +3,11 @@
 The contract (DESIGN.md "Execution backends"): ``ServerFarm.run`` with
 ``parallel=N`` produces the *same signature* -- merged profile, per-worker
 cycles, transcript bytes, cache counters, batch histograms -- as the
-serial loop, for every topology/policy combination that fans out, and
-falls back to serial where fan-out cannot be exact (shared cache
-topology).  These tests pin that contract with full canonical baseline
+serial loop, for every topology/policy combination.  Both topologies fan
+out: partitioned shards ship with the worker states, the one shared
+cache stays authoritative in the parent and is synchronised at round
+boundaries (tests/test_parallel_shared.py covers that protocol in
+depth).  These tests pin the contract with full canonical baseline
 signatures, not spot checks.
 """
 
@@ -117,12 +119,14 @@ class TestParallelBitIdentity:
 
 
 class TestBackendSelection:
-    def test_shared_topology_serial_fallback(self, identity512):
-        # Same-round read-after-write on the one shared cache cannot be
-        # partitioned across processes; the run must stay serial and say so.
+    def test_shared_topology_fans_out(self, identity512):
+        # PR 5 kept shared-cache farms on a serial fallback; the
+        # round-boundary cache sync removed it.  The run must actually
+        # fan out -- and stay bit-identical to the serial loop.
         serial = run_farm(identity512, topology=SHARED, parallel=0)
         par = run_farm(identity512, topology=SHARED, parallel=4)
-        assert par.backend == "serial"
+        assert par.backend == "parallel:4"
+        assert (par.parallel_requested, par.parallel_effective) == (4, 4)
         assert signature(par) == signature(serial)
 
     def test_env_knob_engages_pool(self, identity512):

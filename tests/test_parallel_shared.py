@@ -1,0 +1,327 @@
+"""Shared-cache topology on the process-parallel farm backend.
+
+PR 5's lockstep pool only fanned out the partitioned topology; the
+shared topology -- the mod_ssl shared-memory configuration real
+deployments use -- silently fell back to the serial loop.  These tests
+pin the round-boundary cache-sync protocol that removed the fallback:
+
+* parallel runs are *bit-identical* to serial (full canonical
+  signatures: merged cycles, transcripts, per-worker cycles, and the one
+  shared cache's hit/miss/eviction counters) at 2 and 3 processes;
+* cross-worker resumption -- worker A mints a session that worker B
+  resumes in a later round -- survives the fan-out;
+* the child-side cache mirror records a replayable mutation log, and
+  ``SessionCache.replay`` folds it with serial-order accounting (and
+  raises loudly on a hit/miss divergence instead of merging a
+  non-identical result);
+* a child that dies mid-protocol (or hangs / exits nonzero at finish)
+  surfaces as a diagnostic naming the dead workers, not a raw
+  ``EOFError`` or a silent ``terminate()``;
+* ``FarmResult`` records requested-vs-effective parallelism so a
+  degraded run is detectable without parsing ``backend``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro import runtime
+from repro.crypto import rsa
+from repro.perf import baseline
+from repro.ssl.session import (
+    CacheReplayDivergence, SessionCache, SslSession,
+)
+from repro.webserver import RequestWorkload, ServerFarm, SHARED
+from repro.webserver.parallel import _join_worker, _recv, _SharedCacheMirror
+
+
+def signature(result) -> str:
+    """Canonical JSON of everything the determinism contract covers."""
+    sig = baseline.capture(
+        result.merged_profiler(), scenario="parallel-shared-test",
+        extra={
+            "requests_completed": result.requests_completed,
+            "failures": result.failures,
+            "resumed_handshakes": result.resumed_handshakes,
+            "cross_worker_resumptions": result.cross_worker_resumptions,
+            "wire_bytes": result.wire_bytes,
+            "bytes_served": result.bytes_served,
+            "per_worker_cycles": [r.profiler.total_cycles()
+                                  for r in result.results],
+            "shard_stats": result.shard_stats,
+        })
+    return baseline.canonical_json(sig)
+
+
+def run_shared(identity, *, nworkers=2, parallel=0, policy="round-robin",
+               nrequests=12, resumption_rate=0.5, session_lifetime=300.0,
+               concurrency=2):
+    key, cert = identity
+    rsa.reset_error_tables()
+    farm = ServerFarm(nworkers, topology=SHARED, policy=policy,
+                      key=key, cert=cert, use_crt=True,
+                      session_lifetime=session_lifetime)
+    workload = RequestWorkload.fixed(2048, resumption_rate=resumption_rate)
+    return farm.run(workload, nrequests, concurrency_per_worker=concurrency,
+                    parallel=parallel)
+
+
+def make_session(tag: bytes, created_at=0.0, lifetime=300.0) -> SslSession:
+    return SslSession(session_id=tag.ljust(8, b"\0"), cipher_suite_id=0x0A,
+                      master_secret=bytes(48), created_at=created_at,
+                      lifetime=lifetime)
+
+
+class TestSharedBitIdentity:
+    @pytest.mark.parametrize("nworkers,nprocs", [(2, 2), (3, 3), (3, 2)])
+    def test_matches_serial(self, identity512, nworkers, nprocs):
+        serial = run_shared(identity512, nworkers=nworkers)
+        par = run_shared(identity512, nworkers=nworkers, parallel=nprocs)
+        assert serial.backend == "serial"
+        assert par.backend == f"parallel:{nprocs}"
+        assert signature(par) == signature(serial)
+
+    def test_cross_worker_mint_then_resume(self, identity512):
+        # Worker A mints on the first connection; the next resumable
+        # connection round-robins onto worker B and must hit the shared
+        # cache -- across the process boundary -- exactly as in serial.
+        serial = run_shared(identity512, nrequests=8, resumption_rate=1.0)
+        assert serial.cross_worker_resumptions > 0
+        assert serial.resumed_handshakes > 0
+        [shard] = serial.shard_stats
+        assert shard["hits"] == serial.resumed_handshakes
+        par = run_shared(identity512, nrequests=8, resumption_rate=1.0,
+                         parallel=2)
+        assert par.cross_worker_resumptions == serial.cross_worker_resumptions
+        assert signature(par) == signature(serial)
+
+    def test_affinity_policy(self, identity512):
+        serial = run_shared(identity512, policy="session-affinity")
+        par = run_shared(identity512, policy="session-affinity", parallel=2)
+        assert par.backend == "parallel:2"
+        assert signature(par) == signature(serial)
+
+    def test_expiry_drops_fold_into_shared_counters(self, identity512):
+        # A sub-cycle lifetime expires every minted session before it can
+        # resume: each lookup takes the mirror's expiry-drop path and the
+        # parent's replay must count the evictions exactly like serial.
+        serial = run_shared(identity512, nrequests=8, resumption_rate=1.0,
+                            session_lifetime=1e-12)
+        [shard] = serial.shard_stats
+        assert serial.resumed_handshakes == 0
+        assert shard["evictions"] > 0
+        par = run_shared(identity512, nrequests=8, resumption_rate=1.0,
+                         session_lifetime=1e-12, parallel=2)
+        assert par.shard_stats == serial.shard_stats
+        assert signature(par) == signature(serial)
+
+    def test_faithful_backend(self, identity512):
+        with runtime.fastpath(False):
+            serial = run_shared(identity512, nrequests=4)
+            par = run_shared(identity512, nrequests=4, parallel=2)
+        assert par.backend == "parallel:2"
+        assert signature(par) == signature(serial)
+
+    def test_matches_committed_perfgate_baseline(self):
+        # The parallel run of the shared perfgate scenario must match the
+        # baseline that was *recorded serially* and committed.
+        from pathlib import Path
+
+        from repro.tools.perfgate import baseline_path, capture_scenario
+        path = baseline_path(Path("baselines"), "farm_2workers_shared")
+        committed = baseline.load_json(path)
+        with runtime.parallel(2):
+            fresh = capture_scenario("farm_2workers_shared")
+        assert baseline.diff_signatures(committed, fresh) == []
+
+
+class TestRequestedVsEffective:
+    def test_serial_run_records_request(self, identity512):
+        result = run_shared(identity512, nrequests=4, parallel=0)
+        assert result.parallel_requested == 0
+        assert result.parallel_effective == 1
+
+    def test_clamp_to_worker_count_is_visible(self, identity512):
+        result = run_shared(identity512, nrequests=4, parallel=8)
+        assert result.backend == "parallel:2"
+        assert result.parallel_requested == 8
+        assert result.parallel_effective == 2
+
+    def test_env_default_is_recorded(self, identity512):
+        with runtime.parallel(3):
+            result = run_shared(identity512, nworkers=3, nrequests=4,
+                                parallel=None)
+        assert result.parallel_requested == 3
+        assert result.parallel_effective == 3
+
+    def test_prefix_consumed_run_reports_effective_serial(self, identity512):
+        # A workload that is exhausted before fan-out (here: empty) is
+        # fully handled by run_parallel's serial prefix; no pool is ever
+        # spawned -- and the result says so instead of leaving callers to
+        # parse backend.
+        result = run_shared(identity512, nrequests=0, parallel=2)
+        assert result.backend == "serial"
+        assert result.parallel_requested == 2
+        assert result.parallel_effective == 1
+        assert result.requests_completed == 0
+
+
+class TestSharedCacheMirror:
+    def test_hit_logs_and_returns_entry(self):
+        mirror = _SharedCacheMirror()
+        s = make_session(b"a")
+        mirror.entries[s.session_id] = s
+        assert mirror.get(s.session_id, now=1.0) is s
+        assert mirror.take_ops() == [("get", s.session_id, 1.0, True)]
+        assert mirror.take_ops() == []  # drained
+
+    def test_miss_logs(self):
+        mirror = _SharedCacheMirror()
+        assert mirror.get(b"missing!", now=None) is None
+        assert mirror.take_ops() == [("get", b"missing!", None, False)]
+
+    def test_expiry_drop_is_round_local(self):
+        # Same-worker read-after-drop within one round must miss, like
+        # the serial loop's second lookup after the first dropped it.
+        mirror = _SharedCacheMirror()
+        s = make_session(b"a", created_at=0.0, lifetime=1.0)
+        mirror.entries[s.session_id] = s
+        assert mirror.get(s.session_id, now=5.0) is None
+        assert mirror.get(s.session_id, now=0.5) is None  # already dropped
+        assert mirror.take_ops() == [("get", s.session_id, 5.0, False),
+                                     ("get", s.session_id, 0.5, False)]
+
+    def test_put_and_remove_log(self):
+        mirror = _SharedCacheMirror()
+        s = make_session(b"a")
+        mirror.put(s)
+        mirror.remove(b"gone....")
+        assert mirror.take_ops() == [("put", s), ("remove", b"gone....")]
+
+    def test_begin_round_clears_view(self):
+        mirror = _SharedCacheMirror()
+        mirror.entries[b"x"] = make_session(b"x")
+        mirror.put(make_session(b"y"))
+        mirror.begin_round()
+        assert mirror.entries == {}
+        assert mirror.take_ops() == []
+
+    def test_mirror_pickles(self):
+        mirror = _SharedCacheMirror()
+        s = make_session(b"a")
+        mirror.entries[s.session_id] = s
+        clone = pickle.loads(pickle.dumps(mirror))
+        assert clone.entries[s.session_id].master_secret == s.master_secret
+
+
+class TestCacheReplay:
+    def test_replay_reproduces_serial_accounting(self):
+        # Drive the same op stream through a mirror (recording) and a
+        # plain cache (the serial reference); replaying the log into a
+        # fresh cache must land on the reference's stats and contents.
+        reference = SessionCache(capacity=4)
+        recorder = _SharedCacheMirror()
+        a = make_session(b"a")
+        b = make_session(b"b", created_at=0.0, lifetime=1.0)
+        for cache in (reference, recorder):
+            cache.put(a)
+            cache.put(b)
+        recorder.entries.update({a.session_id: a, b.session_id: b})
+        for cache in (reference, recorder):
+            assert cache.get(a.session_id, now=0.5) is a
+            assert cache.get(b.session_id, now=5.0) is None   # expired
+            assert cache.get(b"missing!", now=None) is None
+            cache.remove(a.session_id)
+
+        replayed = SessionCache(capacity=4)
+        assert replayed.replay(recorder.take_ops()) == 6
+        assert replayed.stats() == reference.stats()
+        assert replayed.peek(a.session_id) is None
+        assert replayed.peek(b.session_id) is None
+
+    def test_benign_expired_vs_missing_disagreement(self):
+        # Recorder saw its (stale) entry expire; the fold finds the entry
+        # already dropped by an earlier worker.  Both sides missed, so
+        # this is not a divergence -- and the fold counts a plain miss,
+        # exactly as the serial second lookup would.
+        cache = SessionCache()
+        cache.replay([("get", b"stale!!!", 5.0, False)])
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["evictions"] == 0
+
+    def test_hit_divergence_raises(self):
+        cache = SessionCache()
+        with pytest.raises(CacheReplayDivergence, match="parallel=0"):
+            cache.replay([("get", b"gone....", None, True)])
+
+    def test_miss_divergence_raises(self):
+        cache = SessionCache()
+        s = make_session(b"a")
+        cache.put(s)
+        with pytest.raises(CacheReplayDivergence):
+            cache.replay([("get", s.session_id, 1.0, False)])
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown cache op"):
+            SessionCache().replay([("frob", b"x")])
+
+
+class _FakeProc:
+    """Stand-in for a multiprocessing.Process in failure-path tests."""
+
+    def __init__(self, exitcode, alive=False):
+        self.exitcode = exitcode
+        self._alive = alive
+        self.joined = False
+
+    def join(self, timeout=None):
+        self.joined = True
+
+    def is_alive(self):
+        return self._alive
+
+
+class TestWorkerFailureReporting:
+    def test_dead_child_named_not_raw_eoferror(self):
+        # A child that dies mid-protocol closes its pipe end; the parent
+        # must surface the workers it owned and its exit code, not a bare
+        # EOFError from conn.recv().
+        parent_conn, child_conn = multiprocessing.Pipe()
+        child_conn.close()
+        with pytest.raises(RuntimeError,
+                           match=r"workers \[1, 3\].*exit code -9"):
+            _recv(parent_conn, _FakeProc(exitcode=-9), [1, 3])
+        parent_conn.close()
+
+    def test_error_message_names_workers(self):
+        parent_conn, child_conn = multiprocessing.Pipe()
+        child_conn.send(("error", "Traceback: boom"))
+        with pytest.raises(RuntimeError, match=r"(?s)workers \[0, 2\].*boom"):
+            _recv(parent_conn, _FakeProc(exitcode=1), [0, 2])
+        parent_conn.close()
+        child_conn.close()
+
+    def test_normal_message_passes_through(self):
+        parent_conn, child_conn = multiprocessing.Pipe()
+        child_conn.send(("report", {}))
+        assert _recv(parent_conn, _FakeProc(exitcode=None), [0]) == \
+            ("report", {})
+        parent_conn.close()
+        child_conn.close()
+
+    def test_join_raises_on_hang(self):
+        with pytest.raises(RuntimeError, match=r"workers \[1\].*not exit"):
+            _join_worker(_FakeProc(exitcode=None, alive=True), [1],
+                         timeout=0.01)
+
+    def test_join_raises_on_nonzero_exit(self):
+        with pytest.raises(RuntimeError, match=r"exited with code 3"):
+            _join_worker(_FakeProc(exitcode=3), [0])
+
+    def test_join_accepts_clean_exit(self):
+        proc = _FakeProc(exitcode=0)
+        _join_worker(proc, [0])
+        assert proc.joined

@@ -126,13 +126,65 @@ class TestSessionCache:
         cache = SessionCache()
         s = self._session(b"a")
         cache.put(s)
-        cache.remove(s.session_id)
+        assert cache.remove(s.session_id) is s
         assert cache.get(s.session_id) is None
-        cache.remove(b"not-there")  # no error
+        assert cache.remove(b"not-there") is None  # no error
+
+    def test_remove_counts_eviction(self):
+        # remove() used to bypass the evictions counter, contradicting
+        # the "every early exit is counted" contract and understating
+        # churn in FarmResult.shard_stats.
+        cache = SessionCache()
+        s = self._session(b"a")
+        cache.put(s)
+        cache.remove(s.session_id)
+        assert cache.evictions == 1
+        cache.remove(s.session_id)  # already gone: not churn
+        cache.remove(b"not-there")
+        assert cache.evictions == 1
+
+    def test_every_exit_path_counts_an_eviction(self):
+        # The class docstring's contract, pinned exit path by exit path:
+        # LRU drop in put(), expiry drop in get(), purge_expired() sweep,
+        # and explicit remove().
+        cache = SessionCache(capacity=2)
+        a, b, c = (self._session(t) for t in (b"a", b"b", b"c"))
+        cache.put(a)
+        cache.put(b)
+        cache.put(c)                      # 1: LRU-evicts a
+        assert cache.evictions == 1
+        expired = SslSession(session_id=b"expired!", cipher_suite_id=0x0A,
+                             master_secret=bytes(48), created_at=0.0,
+                             lifetime=1.0)
+        cache.put(expired)                # 2: LRU-evicts b
+        assert cache.evictions == 2
+        assert cache.get(expired.session_id, now=5.0) is None
+        assert cache.evictions == 3       # 3: expiry drop on lookup
+        stale = SslSession(session_id=b"stale!!!", cipher_suite_id=0x0A,
+                           master_secret=bytes(48), created_at=0.0,
+                           lifetime=1.0)
+        cache.put(stale)
+        assert cache.purge_expired(now=5.0) == 1
+        assert cache.evictions == 4       # 4: purge sweep
+        assert cache.remove(c.session_id) is c
+        assert cache.evictions == 5       # 5: explicit remove
+        assert cache.stats()["evictions"] == 5
 
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             SessionCache(capacity=0)
+
+    def test_peek_is_non_mutating(self):
+        cache = SessionCache(capacity=2)
+        a, b = (self._session(t) for t in (b"a", b"b"))
+        cache.put(a)
+        cache.put(b)
+        assert cache.peek(a.session_id) is a      # no LRU refresh...
+        assert cache.peek(b"missing!") is None    # ...and no miss count
+        assert (cache.hits, cache.misses) == (0, 0)
+        cache.put(self._session(b"c"))            # a still oldest: evicted
+        assert cache.peek(a.session_id) is None
+        assert cache.peek(b.session_id) is b
 
 
 class TestChainVerification:
