@@ -6,7 +6,7 @@
 PY_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
 .PHONY: install test check bench bench-host bench-farm bench-parallel \
-	perf-gate perf-baseline lint examples artifacts all
+	bench-engines perf-gate perf-baseline lint examples artifacts all
 
 install:
 	pip install -e .
@@ -42,6 +42,13 @@ bench-parallel:
 # requires an exact match against the committed baselines/*.json.  CI runs
 # this under both REPRO_FASTPATH=1 and =0; the report file is uploaded as
 # an artifact when the gate fails.
+# Crypto-engine offload backend: the same bulk-heavy HTTPS workload with
+# and without a Section 6.2 engine pool, plus the saturation sweep showing
+# the software-fallback knee; writes BENCH_engine_offload.json at the
+# repository root (fully modeled -- deterministic, no wall-clock keys).
+bench-engines:
+	$(PY_ENV) python benchmarks/bench_section6_engines.py
+
 perf-gate:
 	$(PY_ENV) python -m repro.tools.perfgate --check --report perf_gate_report.txt
 

@@ -5,16 +5,45 @@ hash kernels, (2) a hardware AES round/block unit performing the sixteen
 table lookups in parallel, (3) asynchronous crypto engines running the
 cipher and MAC units concurrently.  These benchmarks quantify each
 proposal against our instrumented software baselines.
+
+Run directly (or via ``make bench-engines``) the module also measures the
+engines *as an execution backend*: the same bulk-heavy HTTPS workload
+with and without a crypto-engine pool attached, plus a saturation sweep
+showing the capacity knee where the pool starts refusing work and
+records fall back to software::
+
+    PYTHONPATH=src python benchmarks/bench_section6_engines.py
+
+Writes ``BENCH_engine_offload.json`` at the repository root through the
+canonical writer.  Everything in the artifact is modeled (deterministic);
+there are no wall-clock numbers to drift.
 """
+
+import pathlib
 
 import repro.crypto.md5 as md5_mod
 import repro.crypto.sha1 as sha1_mod
+from repro.crypto import rsa
 from repro.engines import (
-    EngineDesign, EngineSimulator, SoftwareCosts, aes_unit_estimate,
-    fragment_latency, isa_estimate, throughput_mbps,
+    EngineDesign, EngineSimulator, OffloadConfig, SoftwareCosts,
+    aes_unit_estimate, fragment_latency, isa_estimate, single_engine_config,
+    throughput_mbps,
 )
 from repro.crypto.bench import measure_cipher, measure_hash
-from repro.perf import format_table
+from repro.perf import PENTIUM4, baseline, format_table
+from repro.ssl.ciphersuites import AES128_SHA
+from repro.ssl.loopback import make_server_identity
+from repro.webserver import RequestWorkload, WebServerSimulator
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_engine_offload.json"
+
+#: Bulk-heavy point: 32 KiB responses are two back-to-back 16 KiB records,
+#: so the record engine sees queueing, not just isolated fragments.
+FILE_SIZE = 32768
+NREQUESTS = 6
+KEY_BITS = 1024   # the paper's identity; non-CRT like its Tables 1-3
+SATURATION_SWEEP = (500_000.0, 50_000.0, 10_000.0, 2_000.0, 0.0)
 
 
 def test_section6_isa_extension(benchmark, emit):
@@ -96,3 +125,101 @@ def test_section6_crypto_engine(benchmark, emit):
     assert lat.parallel_speedup > 5
     assert lat.engine_parallel_cycles < lat.engine_serial_cycles
     assert sim4.throughput_mbps() > 3 * sim1.throughput_mbps()
+
+
+# ---------------------------------------------------------------------------
+# Standalone artifact: the engines as an execution backend
+# ---------------------------------------------------------------------------
+
+def _run_point(key, cert, engines):
+    rsa.reset_error_tables()
+    sim = WebServerSimulator(suite=AES128_SHA, key=key, cert=cert,
+                             use_crt=False, seed=b"bench-engines",
+                             engines=engines)
+    result = sim.run(RequestWorkload.fixed(FILE_SIZE), NREQUESTS)
+    if result.failures:
+        raise SystemExit(f"benchmark run failed {result.failures} requests")
+    cycles = result.profiler.total_cycles()
+    point = {
+        "total_cycles": cycles,
+        "cycles_per_request": result.cycles_per_request(),
+        "capacity_rps": PENTIUM4.frequency_hz / result.cycles_per_request(),
+        "wire_bytes": result.wire_bytes,
+    }
+    if result.offload is not None:
+        snap = result.offload
+        attempts = snap["ops"] + snap["fallbacks"]
+        point["offload"] = snap
+        point["fallback_fraction"] = (
+            round(snap["fallbacks"] / attempts, 4) if attempts else 0.0)
+    return point
+
+
+def main() -> dict:
+    key, cert = make_server_identity(KEY_BITS, seed=b"bench-engines-id")
+
+    software = _run_point(key, cert, None)
+    offload = _run_point(key, cert, single_engine_config())
+    speedup = software["cycles_per_request"] / offload["cycles_per_request"]
+
+    # The engines must change the cost model, never the transcript.
+    if offload["wire_bytes"] != software["wire_bytes"]:
+        raise SystemExit("offload changed the wire transcript")
+    if speedup < 2.0:
+        raise SystemExit(f"offload capacity gain {speedup:.2f}x < 2x")
+
+    # Capacity knee: tighten the backlog bound until the pool refuses
+    # records and capacity degrades toward the software-only number.
+    knee = []
+    for saturation in SATURATION_SWEEP:
+        config = OffloadConfig(units=single_engine_config().units,
+                               saturation_cycles=saturation)
+        point = _run_point(key, cert, config)
+        knee.append({
+            "saturation_cycles": saturation,
+            "capacity_rps": round(point["capacity_rps"], 3),
+            "speedup_vs_software": round(
+                software["cycles_per_request"]
+                / point["cycles_per_request"], 3),
+            "fallback_fraction": point["fallback_fraction"],
+            "fallbacks": point["offload"]["fallbacks"],
+            "record_ops": point["offload"]["record_ops"],
+        })
+    if knee[-1]["fallbacks"] <= knee[0]["fallbacks"]:
+        raise SystemExit("saturation sweep never produced the knee")
+    if knee[-1]["capacity_rps"] > knee[0]["capacity_rps"]:
+        raise SystemExit("capacity rose as the pool saturated")
+
+    rows = [(f"{p['saturation_cycles']:.0f}", f"{p['capacity_rps']:.1f}",
+             f"{p['speedup_vs_software']:.2f}x",
+             f"{100 * p['fallback_fraction']:.1f}%") for p in knee]
+    print(format_table(
+        ["saturation bound (cycles)", "capacity (req/s)", "vs software",
+         "fallback share"],
+        rows, title="Offload capacity knee (tightening backlog bound)"))
+    print(f"offload-on vs offload-off: {speedup:.2f}x modeled capacity "
+          f"({software['cycles_per_request']:.0f} -> "
+          f"{offload['cycles_per_request']:.0f} cycles/request)")
+
+    out = {
+        "config": {
+            "suite": "AES128-SHA",
+            "file_size_bytes": FILE_SIZE,
+            "nrequests": NREQUESTS,
+            "key_bits": KEY_BITS,
+            "use_crt": False,
+            "engine_pool": "single_engine_config",
+            "saturation_sweep": list(SATURATION_SWEEP),
+        },
+        "software": software,
+        "offload": offload,
+        "speedup": round(speedup, 3),
+        "knee": knee,
+    }
+    baseline.write_json(OUT_PATH, out)
+    print(f"\nwrote {OUT_PATH}")
+    return out
+
+
+if __name__ == "__main__":
+    main()

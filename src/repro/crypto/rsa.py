@@ -54,6 +54,26 @@ DATA_CONV_BYTE = mix(movb=1, movl=0.5, shll=0.5, orl=0.5, decl=0.5, jnz=0.5)
 _err_tables_loaded = False
 
 
+class ErrorTables:
+    """Per-process error-string registration state (ERR_load_BN_strings).
+
+    The real library loads its error strings once per *process*.  A key
+    constructed normally shares the module-global flag (one charge per
+    experiment, however many keys exist).  A :meth:`RsaPrivateKey.replica`
+    carries its own fresh ``ErrorTables`` instead: each pre-fork farm
+    worker is its own process and pays the one-shot charge on its first
+    private-key operation.  Because the flag travels *with the key*, a
+    serial farm loop and the process-parallel backend charge it at the
+    same point on each worker's clock by construction -- no serial-prefix
+    special case in the parallel protocol.
+    """
+
+    __slots__ = ("loaded",)
+
+    def __init__(self, loaded: bool = False):
+        self.loaded = loaded
+
+
 def reset_error_tables() -> None:
     """Re-arm the one-time ERR_load_BN_strings charge (experiment isolation).
 
@@ -145,7 +165,8 @@ class RsaPrivateKey:
                  q: BigNum, dmp1: BigNum, dmq1: BigNum, iqmp: BigNum,
                  use_crt: bool = True, blinding: bool = True,
                  mont_reduction: str = "interleaved",
-                 rng: Optional[PseudoRandom] = None):
+                 rng: Optional[PseudoRandom] = None,
+                 err_tables: Optional[ErrorTables] = None):
         self.n, self.e, self.d = n, e, d
         self.p, self.q = p, q
         self.dmp1, self.dmq1, self.iqmp = dmp1, dmq1, iqmp
@@ -163,6 +184,10 @@ class RsaPrivateKey:
         #: (modulus, style) exists per key family.
         self._mont_cache: Dict[Tuple[str, str], MontgomeryContext] = {}
         self._blind_pair: Optional[tuple] = None  # (A = r^e mod n, Ai = r^-1)
+        #: ``None`` means "this key lives in the main process": the
+        #: module-global one-shot flag applies.  Replicas get a private
+        #: :class:`ErrorTables` (their own process, their own one-shot).
+        self.err_tables = err_tables
 
     # -- context helpers ------------------------------------------------------
     def public(self) -> RsaPublicKey:
@@ -185,7 +210,8 @@ class RsaPrivateKey:
                              self.dmp1, self.dmq1, self.iqmp,
                              use_crt=self.use_crt, blinding=self.blinding,
                              mont_reduction=self._mont_reduction,
-                             rng=copy.deepcopy(self._rng))
+                             rng=copy.deepcopy(self._rng),
+                             err_tables=ErrorTables(False))
         twin._mont_n = self._mont_n
         twin._mont_p = self._mont_p
         twin._mont_q = self._mont_q
@@ -304,15 +330,30 @@ class RsaPrivateKey:
         return m
 
     # -- PKCS #1 operations ----------------------------------------------------------
+    def charge_error_load(self) -> None:
+        """Pay the one-shot ERR_load_BN_strings charge now, if still owed.
+
+        Normally consumed inside :meth:`decrypt`'s ``init`` region; the
+        engine-offload path calls this explicitly so the charge lands on
+        the real profiler *before* the decrypt runs under a scratch one.
+        Idempotent per process (per worker replica).
+        """
+        global _err_tables_loaded
+        tables = self.err_tables
+        if tables is None:
+            if not _err_tables_loaded:
+                charge(ERR_LOAD, function="ERR_load_BN_strings")
+                _err_tables_loaded = True
+        elif not tables.loaded:
+            charge(ERR_LOAD, function="ERR_load_BN_strings")
+            tables.loaded = True
+
     def decrypt(self, ciphertext: bytes) -> bytes:
         """PKCS #1 v1.5 decryption with the full six-step anatomy of Table 7."""
-        global _err_tables_loaded
         with perf.region("rsa_private_decryption"):
             with perf.region("init"):
                 charge(RSA_INIT, function="BN_CTX_start")
-                if not _err_tables_loaded:
-                    charge(ERR_LOAD, function="ERR_load_BN_strings")
-                    _err_tables_loaded = True
+                self.charge_error_load()
             with perf.region("data_to_bn"):
                 if len(ciphertext) != self.size:
                     raise RsaError("ciphertext length mismatch")

@@ -19,6 +19,11 @@ from .isa_ext import (
     IsaExtensionEstimate, IsaExtensionParams, KERNEL_PARAMS,
     estimate as isa_estimate, transform_mix,
 )
+from .offload import (
+    AES_UNIT, GENERIC_CIPHER_UNIT, HASH_UNIT, MODEXP_UNIT, RC4_UNIT,
+    OffloadConfig, OffloadPool, UnitDesign, default_engine_config,
+    single_engine_config,
+)
 
 __all__ = [
     "AesUnitDesign", "AesUnitEstimate", "aes_unit_estimate",
@@ -29,4 +34,7 @@ __all__ = [
     "hash_unit_estimate",
     "IsaExtensionEstimate", "IsaExtensionParams", "KERNEL_PARAMS",
     "isa_estimate", "transform_mix",
+    "AES_UNIT", "GENERIC_CIPHER_UNIT", "HASH_UNIT", "MODEXP_UNIT",
+    "RC4_UNIT", "OffloadConfig", "OffloadPool", "UnitDesign",
+    "default_engine_config", "single_engine_config",
 ]

@@ -119,6 +119,8 @@ class SimOutcome:
     @property
     def utilization(self) -> float:
         """Average busy fraction of the unit pairs over the makespan."""
+        if self.makespan_cycles <= 0:
+            return 0.0
         return self.unit_busy_cycles / self.makespan_cycles
 
 
@@ -141,20 +143,39 @@ class EngineSimulator:
         self.block_size = block_size
 
     def _service_cycles(self, data_bytes: int) -> Tuple[float, int]:
+        """Unit-pair occupancy for one fragment: overlapped data pass plus
+        the cipher's serial tail.  The descriptor fetch is *not* part of
+        the pair's service -- see :meth:`run`."""
         d = self.design
         total = data_bytes + self.mac_size + 1
         pad = (-total) % self.block_size
         tail = self.mac_size + 1 + pad
         overlap = max(d.hash_cycles_per_byte * data_bytes,
                       d.cipher_cycles_per_byte * data_bytes)
-        return (d.descriptor_overhead + overlap
-                + d.cipher_cycles_per_byte * tail), tail
+        return overlap + d.cipher_cycles_per_byte * tail, tail
 
     def run(self, fragment_sizes: List[int],
             arrival_gap: float = 0.0) -> SimOutcome:
-        """Serve ``fragment_sizes`` (bytes each); optional arrival spacing."""
+        """Serve ``fragment_sizes`` (bytes each); optional arrival spacing.
+
+        An empty queue is a legal no-op (zero fragments, zero makespan) --
+        callers draining whatever a connection produced must not have to
+        special-case "nothing this round".
+
+        The engine's control unit fetches a fragment's descriptor as soon
+        as the fragment arrives, concurrently with whatever the cipher+
+        hash pairs are processing: a fragment is *ready* at ``arrival +
+        descriptor_overhead`` and occupies a pair only for its data/tail
+        service.  On an idle engine this reproduces Figure 6's closed-form
+        latency (descriptor + overlapped pass + tail) exactly; for
+        back-to-back fragments the fetch hides behind the previous
+        fragment's service instead of being re-paid serially.  Fragments
+        are assigned FIFO to the earliest-free pair (ties by heap order,
+        deterministic for identical floats).
+        """
         if not fragment_sizes:
-            raise ValueError("no fragments to process")
+            return SimOutcome(fragments=0, bytes_processed=0,
+                              makespan_cycles=0.0, unit_busy_cycles=0.0)
         # Min-heap of unit-free times, one entry per unit pair.
         units: List[float] = [0.0] * self.design.units
         heapq.heapify(units)
@@ -162,10 +183,10 @@ class EngineSimulator:
         nbytes = 0
         finish = 0.0
         for i, size in enumerate(fragment_sizes):
-            arrival = i * arrival_gap
+            ready = i * arrival_gap + self.design.descriptor_overhead
             service, tail = self._service_cycles(size)
             free_at = heapq.heappop(units)
-            start = max(free_at, arrival)
+            start = max(free_at, ready)
             done = start + service
             heapq.heappush(units, done)
             busy += service

@@ -87,6 +87,9 @@ class SslConnection:
         self.server_random = b""
         #: Negotiated protocol version (SSLv3 until the hellos settle it).
         self.version = SSL3_VERSION
+        #: Optional crypto-engine pool; servers set it so their record
+        #: states (both directions run on the server's CPU) can offload.
+        self._offload_pool = None
 
     def _set_version(self, version: int) -> None:
         self.version = version
@@ -311,10 +314,10 @@ class SslConnection:
             client_iv, server_iv = cut(ik), cut(ik)
         client_state = ConnectionState(
             suite, KeyMaterial(client_mac, client_key, client_iv),
-            version=self.version)
+            version=self.version, offload=self._offload_pool)
         server_state = ConnectionState(
             suite, KeyMaterial(server_mac, server_key, server_iv),
-            version=self.version)
+            version=self.version, offload=self._offload_pool)
         return client_state, server_state
 
     def _expand_export_keys(self, suite: CipherSuite,

@@ -80,9 +80,15 @@ class ConnectionState:
 
     def __init__(self, suite: CipherSuite, material: KeyMaterial,
                  version: int = SSL3_VERSION,
-                 seq_cap: int = SEQ_NUM_CAP):
+                 seq_cap: int = SEQ_NUM_CAP,
+                 offload=None):
         """``seq_cap`` lowers the 2^64 sequence-number wrap point so tests
-        can exercise the overflow path without sealing 2^64 records."""
+        can exercise the overflow path without sealing 2^64 records.
+
+        ``offload`` (an :class:`repro.engines.offload.OffloadPool`) routes
+        bulk cipher+MAC work through modeled crypto engines when one is
+        capable and unsaturated; the real crypto still runs -- under a
+        scratch profiler -- so the wire bytes are identical either way."""
         if version not in SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported protocol version 0x{version:04x}")
         if not 1 <= seq_cap <= self.SEQ_NUM_CAP:
@@ -100,6 +106,7 @@ class ConnectionState:
         #: record, with the prefix charges replayed so modeled cycles match
         #: the plain functions bit for bit.
         self._mac_ctx: Optional[Union[Ssl3MacContext, TlsMacContext]] = None
+        self.offload = offload
 
     def _mac(self, content_type: int, fragment: bytes) -> bytes:
         if self.version == SSL3_VERSION:
@@ -128,6 +135,28 @@ class ConnectionState:
         if self.seq_num >= self.seq_cap:
             raise SequenceOverflow(
                 "outgoing record sequence number exhausted")
+        pool = self.offload
+        if pool is not None and self.cipher is not None:
+            suite = self.suite
+            if suite.is_block:
+                bs = self.cipher.block_size
+                pad_len = bs - (len(fragment) + suite.mac_size + 1) % bs
+                if pad_len == bs:
+                    pad_len = 0
+                tail = suite.mac_size + 1 + pad_len
+            else:
+                tail = suite.mac_size
+            if pool.submit_record("seal", suite.cipher, suite.mac,
+                                  len(fragment), tail):
+                # Engine path: the pool charged dispatch + engine latency;
+                # run the genuine crypto under a scratch profiler so the
+                # ciphertext (and seq/MAC state) is bit-identical to the
+                # software path without double-charging CPU cycles.
+                with perf.activate(perf.Profiler()):
+                    return self._seal_software(content_type, fragment)
+        return self._seal_software(content_type, fragment)
+
+    def _seal_software(self, content_type: int, fragment: bytes) -> bytes:
         with perf.region("mac"):
             mac = self._mac(content_type, fragment)
         self.seq_num += 1
@@ -175,6 +204,22 @@ class ConnectionState:
             self.seq_num += 1
 
     def _open_checked(self, content_type: int, body: bytes) -> bytes:
+        pool = self.offload
+        if pool is not None and self.cipher is not None:
+            # Plaintext length is unknown pre-decrypt; the engine streams
+            # the whole body through the cipher while the hash pipeline
+            # consumes everything but the trailing MAC.
+            data_est = max(0, len(body) - self.suite.mac_size)
+            if pool.submit_record("open", self.suite.cipher, self.suite.mac,
+                                  data_est, len(body) - data_est):
+                # BadRecordMac still propagates from the scratch-profiled
+                # run -- engine or not, failures stay uniform (the engine's
+                # service time depends only on the record length).
+                with perf.activate(perf.Profiler()):
+                    return self._open_software(content_type, body)
+        return self._open_software(content_type, body)
+
+    def _open_software(self, content_type: int, body: bytes) -> bytes:
         cipher = self.cipher
         padding_ok = True
         if cipher is None:

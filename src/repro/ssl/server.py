@@ -236,7 +236,8 @@ class SslServer(SslConnection):
                  allow_renegotiation: bool = True,
                  batcher: Optional[HandshakeBatcher] = None,
                  clock: Optional[Callable[[], float]] = None,
-                 session_lifetime: Optional[float] = None):
+                 session_lifetime: Optional[float] = None,
+                 offload=None):
         """``cert_chain``: intermediate/root certificates sent after the
         leaf (the paper's server used a single self-signed certificate).
         ``batcher``: a shared :class:`HandshakeBatcher`; when set, the RSA
@@ -245,7 +246,10 @@ class SslServer(SslConnection):
         wall-clock in seconds (e.g. ``profiler.seconds``); when set, cache
         lookups enforce session expiry and minted sessions are stamped
         with their creation time.  ``session_lifetime`` overrides the
-        OpenSSL-default 300 s lifetime of minted sessions."""
+        OpenSSL-default 300 s lifetime of minted sessions.  ``offload``:
+        an :class:`repro.engines.offload.OffloadPool` serving this
+        server's record crypto and RSA private-key ops (worker-local in
+        a farm); ``None`` keeps everything in software."""
         with perf.region("init"):
             super().__init__()
             self._key = private_key
@@ -264,6 +268,7 @@ class SslServer(SslConnection):
             self._dh_keypair: Optional[DhKeyPair] = None
             self._allow_renegotiation = allow_renegotiation
             self._batcher = batcher
+            self._offload_pool = offload
             self._clock = clock
             self._session_lifetime = session_lifetime
             self._kx_waiting = False
@@ -483,7 +488,11 @@ class SslServer(SslConnection):
         # SSLv3 sends the RSA ciphertext raw; TLS added a length prefix.
         kx = ClientKeyExchange.parse_versioned(raw_body, self.is_tls)
         try:
-            pre_master = self._key.decrypt(kx.encrypted_pre_master)
+            if self._offload_pool is not None:
+                pre_master = self._offload_pool.rsa_decrypt(
+                    self._key, kx.encrypted_pre_master)
+            else:
+                pre_master = self._key.decrypt(kx.encrypted_pre_master)
         except (RsaError, ValueError):
             pre_master = None
         return self._vet_pre_master(pre_master)

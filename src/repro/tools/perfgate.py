@@ -337,6 +337,70 @@ def _farm_2workers_shared():
     return _farm_signature(result)
 
 
+@scenario("engines_1x_bulk", "Section 6.2 offload",
+          "Single crypto engine (AES cipher + hash pipeline, modexp "
+          "assist) offloading a bulk-heavy AES workload; the offload "
+          "snapshot (per-unit ops/busy cycles, queue peaks) is part of "
+          "the signature")
+def _engines_1x_bulk():
+    from ..engines import single_engine_config
+    from ..ssl.ciphersuites import AES128_SHA
+    from ..webserver.simulator import WebServerSimulator
+    from ..webserver.workload import RequestWorkload
+    key, cert = _identity(seed=b"pg-engines")
+    sim = WebServerSimulator(suite=AES128_SHA, key=key, cert=cert,
+                             use_crt=True, seed=b"pg-engines",
+                             engines=single_engine_config())
+    result = sim.run(RequestWorkload.fixed(16384), 4)
+    assert result.offload is not None and result.offload["ops"] > 0, \
+        "engine pool never engaged"
+    assert result.failures == 0, result
+    return result.profiler, {
+        "requests_completed": result.requests_completed,
+        "failures": result.failures,
+        "wire_bytes": result.wire_bytes,
+        "offload": result.offload,
+    }
+
+
+@scenario("engines_preferential_farm", "Section 6.2 offload",
+          "Two-worker shared-cache farm over a heterogeneous engine pool "
+          "(fast 3DES core + slow generic core, tight saturation bound): "
+          "exercises preferential assignment and the software-fallback "
+          "path; eligible for the process-parallel backend")
+def _engines_preferential_farm():
+    from ..engines import (
+        GENERIC_CIPHER_UNIT, HASH_UNIT, MODEXP_UNIT, OffloadConfig,
+        UnitDesign,
+    )
+    from ..webserver import RequestWorkload, ServerFarm, SHARED
+    fast_3des = UnitDesign("cipher", {"3des": 0.5, "des": 0.5},
+                           label="3des-unit")
+    # One hash pipeline and a tight backlog bound: a 32 KiB response is
+    # two back-to-back 16 KiB records, and the second arrives while the
+    # hash unit still holds the first -- deterministic saturation.
+    config = OffloadConfig(
+        units=(fast_3des, GENERIC_CIPHER_UNIT, HASH_UNIT, MODEXP_UNIT),
+        saturation_cycles=10_000.0)
+    key, cert = _identity(seed=b"pg-engines-farm")
+    farm = ServerFarm(2, topology=SHARED, key=key, cert=cert, use_crt=True,
+                      engines=config)
+    workload = RequestWorkload.fixed(32768, resumption_rate=0.5)
+    # No explicit ``parallel=``: honors REPRO_PARALLEL, so CI's engine
+    # gate re-checks this baseline through the process pool (engine
+    # pools ship inside the pickled worker states).
+    result = farm.run(workload, 8, concurrency_per_worker=2)
+    summary = result.offload_summary()
+    assert summary is not None and summary["ops"] > 0, \
+        "engine pool never engaged"
+    assert summary["fallbacks"] > 0, \
+        "saturation fallback path never exercised"
+    profiler, extra = _farm_signature(result)
+    extra["offload"] = [r.offload for r in result.results]
+    extra["offload_summary"] = summary
+    return profiler, extra
+
+
 # ---------------------------------------------------------------------------
 # Capture / record / check
 # ---------------------------------------------------------------------------

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from .. import perf, runtime
 from ..crypto.batch_rsa import BatchRsaKeySet
 from ..crypto.rsa import RsaPrivateKey
+from ..engines.offload import OffloadConfig
 from ..ssl.ciphersuites import CipherSuite, DEFAULT_SUITE
 from ..ssl.loopback import make_server_identity
 from ..ssl.session import SessionCache, SslSession
@@ -220,9 +221,8 @@ class FarmResult:
     #: recorded before any clamping, so degradation is detectable.
     parallel_requested: int = 0
     #: Worker processes that actually drove scheduling rounds: ``1`` for
-    #: the in-process serial loop (including a parallel request whose
-    #: serial prefix consumed the whole workload), the pool size
-    #: otherwise.  A caller (or benchmark) that requested ``N > 1`` can
+    #: the in-process serial loop, the pool size otherwise.  A caller
+    #: (or benchmark) that requested ``N > 1`` can
     #: compare the two fields instead of parsing :attr:`backend`:
     #: ``parallel_effective < min(parallel_requested, nworkers)`` means
     #: the run degraded.
@@ -252,6 +252,39 @@ class FarmResult:
     @property
     def batched_ops(self) -> int:
         return sum(r.batched_ops for r in self.results)
+
+    def offload_summary(self) -> Optional[Dict]:
+        """Farm-wide crypto-engine offload stats; ``None`` when the run
+        had no engine pool.
+
+        Sums the per-worker pool snapshots (``results[i].offload``) into
+        ``ops`` / ``fallbacks`` / ``skipped_small`` counters, reports the
+        worst queue pressure any worker saw, and averages unit
+        utilization across workers (each worker owns its own pool of the
+        same layout).
+        """
+        per_worker = [r.offload for r in self.results
+                      if r.offload is not None]
+        if not per_worker:
+            return None
+        nunits = len(per_worker[0]["units"])
+        utilization = [
+            sum(w["units"][u]["utilization"] for w in per_worker)
+            / len(per_worker) for u in range(nunits)]
+        return {
+            "ops": sum(w["ops"] for w in per_worker),
+            "record_ops": sum(w["record_ops"] for w in per_worker),
+            "modexp_ops": sum(w["modexp_ops"] for w in per_worker),
+            "fallbacks": sum(w["fallbacks"] for w in per_worker),
+            "skipped_small": sum(w["skipped_small"] for w in per_worker),
+            "engine_cycles": round(
+                sum(w["engine_cycles"] for w in per_worker), 3),
+            "peak_backlog_cycles": max(
+                w["peak_backlog_cycles"] for w in per_worker),
+            "peak_queue_depth": max(
+                w["peak_queue_depth"] for w in per_worker),
+            "unit_utilization": [round(u, 6) for u in utilization],
+        }
 
     def worker_stats(self) -> List[WorkerStats]:
         return [WorkerStats(
@@ -407,12 +440,19 @@ class ServerFarm:
                  batch_size: Optional[int] = None,
                  batch_timeout: int = 8,
                  session_lifetime: float = 300.0,
-                 session_cache_capacity: int = 1024):
+                 session_cache_capacity: int = 1024,
+                 engines: Optional[OffloadConfig] = None):
         """``key_set`` enables batch RSA: the member keys are partitioned
         round-robin into one disjoint sub-keyset per worker (see
         :meth:`BatchRsaKeySet.partition`), so every worker's batch queue
         -- and therefore every suspended-handshake continuation -- stays
-        worker-local.  Requires at least one member key per worker."""
+        worker-local.  Requires at least one member key per worker.
+
+        ``engines`` attaches crypto-engine offload: every worker gets its
+        *own* :class:`~repro.engines.OffloadPool` built from the config --
+        engines are per-machine hardware, and worker-local pools (like
+        the batcher and partitioned cache shards) are what keeps the
+        process-parallel backend merge-free and bit-identical."""
         if nworkers < 1:
             raise ValueError("need at least one worker")
         if topology not in TOPOLOGIES:
@@ -454,7 +494,8 @@ class ServerFarm:
                 batch_size=batch_size, batch_timeout=batch_timeout,
                 session_cache=(shared_cache if shared_cache is not None
                                else SessionCache(session_cache_capacity)),
-                session_lifetime=session_lifetime)
+                session_lifetime=session_lifetime,
+                engines=engines)
             # Clients resume against whatever worker they land on next:
             # the client-session pool is farm-global.
             sim._client_sessions = self._pool
@@ -614,6 +655,9 @@ class ServerFarm:
             if state.sim._batcher is not None:
                 state.result.batches = dict(state.sim._batcher.batches)
                 state.result.batched_ops = state.sim._batcher.ops_submitted
+            if state.sim._engines is not None:
+                state.result.offload = state.sim._engines.snapshot(
+                    state.profiler.now())
 
         shard_stats = []
         if self._shared_cache is not None:

@@ -78,15 +78,15 @@ Determinism notes:
   eviction landing on the session another worker is resuming) raises
   :class:`~repro.ssl.session.CacheReplayDivergence` rather than merging
   a result that is no longer bit-identical.
-* **The ERR_LOAD one-shot** cannot be fanned out: each child starts with
-  its own unset flag, so naive parallelism would charge it once per
-  process (or in the wrong worker's clock).  Instead the run begins with
-  a *serial prefix* in the parent -- the ordinary serial loop -- until
-  the charge has been consumed (or is provably unreachable: non-RSA key
-  exchange, or a handshake batcher that defers every private decryption
-  into :meth:`~repro.crypto.batch_rsa.BatchRsaDecryptor.decrypt_batch`).
-  Only then are worker states snapshotted and shipped.  A run that
-  completes inside the prefix reports ``backend="serial"``.
+* **The ERR_LOAD one-shot** travels *with each worker's key*: a farm at
+  ``N >= 2`` hands every worker a key replica carrying its own
+  :class:`~repro.crypto.rsa.ErrorTables`, so each worker pays the
+  error-string load exactly once, on its own clock, at its first
+  private-key operation -- in the serial loop and in a child process
+  alike.  Workers therefore fan out at round 0; no serial prefix, no
+  special case.  (The module-global flag still exists for keys owned by
+  the main process and is mirrored to children in ``init`` so a child
+  is a faithful process clone.)
 * **Pickle boundary**: worker states cross the pipe via pickle.
   :class:`~repro.perf.cpu.CpuModel` interns on unpickle (identity-based
   merge checks survive), :class:`~repro.perf.isa.MixAccumulator` folds
@@ -228,19 +228,6 @@ def _start_method() -> str:
     return "fork" if "fork" in available else "spawn"
 
 
-def _err_load_pending(farm: "ServerFarm") -> bool:
-    """True while the process-global ERR_LOAD one-shot could still fire
-    in this run, i.e. while fan-out would misplace it."""
-    if rsa.error_tables_loaded():
-        return False
-    sim = farm._sims[0]
-    if sim._suite.key_exchange != "RSA":
-        return False
-    if sim._batcher is not None:
-        return False
-    return True
-
-
 def _worker_main(conn) -> None:
     """Child process entry point: owns a subset of worker states, runs
     their rounds in lockstep with the parent.  Module-level (and fed
@@ -362,14 +349,8 @@ def run_parallel(farm: "ServerFarm", pending: "deque[List[Request]]",
     txn_id = 0
     cross = 0
 
-    # -- serial prefix: consume the process-global one-shot charge ----------
-    while _err_load_pending(farm) and (
-            pending or any(s.active for s in states)):
-        txn_id = farm._admit(pending, txn_id)
-        for state in states:
-            cross += _run_worker_round(state, pool)
     if not pending and not any(s.active for s in states):
-        # The whole run fit inside the prefix; no processes were spawned.
+        # Empty workload: don't spawn a pool to do nothing.
         return farm._assemble_result(cross, backend="serial")
 
     # -- snapshot worker states and fan out ---------------------------------
@@ -382,10 +363,10 @@ def run_parallel(farm: "ServerFarm", pending: "deque[List[Request]]",
     if shared_cache is not None:
         # One mirror replaces the one shared cache on every state that
         # ships (per child, the pickle memo collapses it back to a single
-        # object).  In-flight transactions from the serial prefix hold
-        # their own reference to the cache inside their server objects;
-        # rebind those too or their session stores would mutate a
-        # stale pickled copy instead of entering the mutation log.
+        # object).  Nothing is in flight yet -- fan-out happens at round
+        # 0 -- but rebind any active transactions defensively: a server
+        # object holds its own cache reference, and a stale one would
+        # mutate a pickled copy instead of entering the mutation log.
         cache_stub = _SharedCacheMirror()
         for state in states:
             state.sim._session_cache = cache_stub

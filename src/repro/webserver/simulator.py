@@ -21,6 +21,7 @@ from .. import perf
 from ..crypto.batch_rsa import BatchRsaKeySet
 from ..crypto.rand import PseudoRandom
 from ..crypto.rsa import RsaPrivateKey
+from ..engines.offload import OffloadConfig, OffloadPool
 from ..perf.categories import crypto_breakdown
 from ..ssl.ciphersuites import CipherSuite, DEFAULT_SUITE
 from ..ssl.client import SslClient
@@ -52,6 +53,9 @@ class SimulationResult:
     batches: Dict[int, int] = field(default_factory=dict)
     #: RSA key-exchange decrypts that went through the batch queue.
     batched_ops: int = 0
+    #: Crypto-engine offload snapshot (:meth:`OffloadPool.snapshot`);
+    #: ``None`` when the run had no engine pool.
+    offload: Optional[Dict[str, object]] = None
 
     def module_shares(self) -> Dict[str, float]:
         """Module -> share of total cycles (Table 1)."""
@@ -136,7 +140,8 @@ class _Transaction:
                 rng=PseudoRandom(sim._seed + b"-s" + tag),
                 batcher=sim._batcher,
                 clock=server_prof.seconds,
-                session_lifetime=sim._session_lifetime)
+                session_lifetime=sim._session_lifetime,
+                offload=sim._engines)
         with perf.activate(self._client_prof):
             self.client = SslClient(suites=(sim._suite,), session=resume,
                                     version=sim._version,
@@ -252,7 +257,8 @@ class WebServerSimulator:
                  batch_size: Optional[int] = None,
                  batch_timeout: int = 8,
                  session_cache: Optional[SessionCache] = None,
-                 session_lifetime: float = 300.0):
+                 session_lifetime: float = 300.0,
+                 engines: Optional[OffloadConfig] = None):
         """``use_crt`` defaults to False: the paper's handshake
         measurements (Tables 1-3) are consistent with a non-CRT private
         operation; see DESIGN.md.  ``version`` is the protocol the
@@ -265,7 +271,10 @@ class WebServerSimulator:
         hands one cache to every worker); by default each simulator owns a
         private one.  ``session_lifetime`` bounds minted sessions in
         virtual seconds -- lookups check it against the server profiler's
-        :meth:`~repro.perf.Profiler.seconds` clock."""
+        :meth:`~repro.perf.Profiler.seconds` clock.  ``engines`` attaches
+        a crypto-engine pool (:class:`repro.engines.OffloadConfig`): every
+        server connection offloads record crypto and RSA decrypts to it,
+        falling back to software when the pool is saturated."""
         if key is None or cert is None:
             key, cert = make_server_identity(1024, seed=seed + b"-identity")
         key.use_crt = use_crt
@@ -290,6 +299,7 @@ class WebServerSimulator:
                 (member, make_self_signed(f"CN=repro-batch-{i}", member))
                 for i, member in enumerate(key_set.members)]
         self._next_identity = 0
+        self._engines = OffloadPool(engines) if engines is not None else None
 
     # -- one connection (one or more requests) ----------------------------------
     def _run_connection(self, requests: List[Request],
@@ -315,7 +325,8 @@ class WebServerSimulator:
                                session_cache=self._session_cache,
                                rng=PseudoRandom(self._seed + b"-s" + tag),
                                clock=server_prof.seconds,
-                               session_lifetime=self._session_lifetime)
+                               session_lifetime=self._session_lifetime,
+                               offload=self._engines)
         with perf.activate(client_prof):
             client = SslClient(suites=(self._suite,), session=resume,
                                version=self._version,
@@ -410,6 +421,8 @@ class WebServerSimulator:
         if self._batcher is not None:
             result.batches = dict(self._batcher.batches)
             result.batched_ops = self._batcher.ops_submitted
+        if self._engines is not None:
+            result.offload = self._engines.snapshot(server_prof.now())
         return result
 
     def _run_concurrent(self, groups: List[List[Request]],

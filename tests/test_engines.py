@@ -120,9 +120,51 @@ class TestCryptoEngine:
         assert trickle.makespan_cycles > saturated.makespan_cycles
         assert trickle.utilization < saturated.utilization
 
-    def test_empty_queue_rejected(self):
-        with pytest.raises(ValueError):
-            EngineSimulator().run([])
+    def test_empty_queue_is_a_noop(self):
+        # A connection can legitimately produce nothing in a round; the
+        # drain must not blow up (and utilization must not divide by 0).
+        out = EngineSimulator().run([])
+        assert out.fragments == 0
+        assert out.bytes_processed == 0
+        assert out.makespan_cycles == 0.0
+        assert out.utilization == 0.0
+        assert out.throughput_mbps() == 0.0
+
+    def test_idle_engine_matches_closed_form(self):
+        # One fragment on an idle engine: the simulator must reproduce the
+        # Figure 6 closed-form parallel latency exactly (descriptor fetch
+        # + overlapped pass + cipher tail).
+        design = EngineDesign()
+        lat = fragment_latency(1024, TestCryptoEngine.SW, design)
+        out = EngineSimulator(design).run([1024])
+        assert out.makespan_cycles == pytest.approx(
+            lat.engine_parallel_cycles)
+
+    def test_back_to_back_descriptor_prefetch(self):
+        # The control unit fetches descriptor i+1 while the pair works on
+        # fragment i: N back-to-back fragments on one pair cost one
+        # descriptor fetch plus N services, not N of each.
+        design = EngineDesign(units=1)
+        sim = EngineSimulator(design)
+        service, _ = sim._service_cycles(1024)
+        out = sim.run([1024] * 8)
+        assert out.makespan_cycles == pytest.approx(
+            design.descriptor_overhead + 8 * service)
+        # Busy time counts only pair occupancy, never descriptor fetches.
+        assert out.unit_busy_cycles == pytest.approx(8 * service)
+
+    def test_two_unit_fifo_drain_order(self):
+        # FIFO assignment to the earliest-free pair, exact arithmetic:
+        # with a big and a small fragment queued first, the third must
+        # land on the pair that freed first (the small one's).
+        design = EngineDesign(units=2, descriptor_overhead=400.0)
+        sim = EngineSimulator(design)
+        big, _ = sim._service_cycles(8192)
+        small, _ = sim._service_cycles(512)
+        out = sim.run([8192, 512, 512])
+        # Pair A: big; pair B: small then small (B frees first both times).
+        assert out.makespan_cycles == pytest.approx(
+            max(400.0 + big, 400.0 + 2 * small))
 
     def test_unit_count_validation(self):
         with pytest.raises(ValueError):

@@ -21,6 +21,7 @@ from repro import runtime
 from repro.crypto import rsa
 from repro.crypto.batch_rsa import generate_batch_keys
 from repro.crypto.rand import PseudoRandom
+from repro.engines import default_engine_config
 from repro.perf import baseline
 from repro.webserver import PARTITIONED, SHARED, RequestWorkload, ServerFarm
 from repro.webserver.parallel import _ClientPoolMirror
@@ -52,6 +53,7 @@ def signature(result) -> str:
             "per_worker_cycles": [r.profiler.total_cycles()
                                   for r in result.results],
             "shard_stats": result.shard_stats,
+            "offload": [r.offload for r in result.results],
         })
     return baseline.canonical_json(sig)
 
@@ -116,6 +118,60 @@ class TestParallelBitIdentity:
         with runtime.parallel(2):
             fresh = capture_scenario("farm_2workers_partitioned")
         assert baseline.diff_signatures(committed, fresh) == []
+
+
+def run_engine_farm(identity, *, parallel=0, nworkers=3):
+    key, cert = identity
+    rsa.reset_error_tables()
+    farm = ServerFarm(nworkers, topology=SHARED, key=key, cert=cert,
+                      use_crt=True, engines=default_engine_config())
+    result = farm.run(workload(size=8192), 9,
+                      concurrency_per_worker=2, parallel=parallel)
+    return result
+
+
+class TestOffloadDeterminism:
+    """Engine pools are worker-local state: the parallel backend ships
+    them with the worker pickles and must merge back bit-identical
+    results -- including every pool counter and unit timeline."""
+
+    def test_engine_pool_bit_identical(self, identity512):
+        serial = run_engine_farm(identity512, parallel=0)
+        par = run_engine_farm(identity512, parallel=3)
+        assert par.backend == "parallel:3"
+        assert par.offload_summary() == serial.offload_summary()
+        assert signature(par) == signature(serial)
+
+    def test_parallel_one_matches_parallel_three(self, identity512):
+        one = run_engine_farm(identity512, parallel=1)    # serial path
+        three = run_engine_farm(identity512, parallel=3)
+        assert one.backend == "serial"
+        assert one.offload_summary() == three.offload_summary()
+        assert signature(one) == signature(three)
+
+
+class TestRoundZeroFanOut:
+    def test_no_parent_side_serial_prefix(self, identity512, monkeypatch):
+        # Workers fan out at round 0: the parent never steps connections.
+        # (The old protocol burned a serial prefix in-parent until the
+        # ERR_load one-shot had been charged.)  Forked children inherit
+        # the counting patch but append to their *own* copy of the list,
+        # so any parent-side private-key work would show up here.
+        calls = []
+        original = rsa.RsaPrivateKey.decrypt
+
+        def counting(key, ciphertext):
+            calls.append(1)
+            return original(key, ciphertext)
+
+        monkeypatch.setattr(rsa.RsaPrivateKey, "decrypt", counting)
+        serial = run_farm(identity512, nworkers=2, nrequests=4)
+        assert calls                      # serial loop decrypts in-parent
+        calls.clear()
+        par = run_farm(identity512, nworkers=2, nrequests=4, parallel=2)
+        assert par.requests_completed == serial.requests_completed
+        assert not calls                  # parent did no crypto at all
+        assert signature(par) == signature(serial)
 
 
 class TestBackendSelection:

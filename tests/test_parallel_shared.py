@@ -157,11 +157,9 @@ class TestRequestedVsEffective:
         assert result.parallel_requested == 3
         assert result.parallel_effective == 3
 
-    def test_prefix_consumed_run_reports_effective_serial(self, identity512):
-        # A workload that is exhausted before fan-out (here: empty) is
-        # fully handled by run_parallel's serial prefix; no pool is ever
-        # spawned -- and the result says so instead of leaving callers to
-        # parse backend.
+    def test_empty_run_reports_effective_serial(self, identity512):
+        # An empty workload never spawns a pool -- and the result says so
+        # instead of leaving callers to parse backend.
         result = run_shared(identity512, nrequests=0, parallel=2)
         assert result.backend == "serial"
         assert result.parallel_requested == 2
