@@ -6,7 +6,8 @@
 PY_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
 .PHONY: install test check bench bench-host bench-farm bench-parallel \
-	bench-engines perf-gate perf-baseline lint examples artifacts all
+	bench-engines bench-tickets perf-gate perf-baseline lint examples \
+	artifacts all
 
 install:
 	pip install -e .
@@ -48,6 +49,13 @@ bench-parallel:
 # repository root (fully modeled -- deterministic, no wall-clock keys).
 bench-engines:
 	$(PY_ENV) python benchmarks/bench_section6_engines.py
+
+# Stateless session tickets vs the server-side id cache: cache memory at
+# equal hit-rate across client populations, plus the key-rotation churn
+# curve; writes BENCH_ticket_resumption.json at the repository root
+# (fully modeled -- deterministic).
+bench-tickets:
+	$(PY_ENV) python benchmarks/bench_ticket_resumption.py
 
 perf-gate:
 	$(PY_ENV) python -m repro.tools.perfgate --check --report perf_gate_report.txt

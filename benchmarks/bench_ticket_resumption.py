@@ -1,0 +1,176 @@
+"""Session tickets vs the server-side id cache: memory and churn.
+
+RFC-5077-style tickets move resumption state off the server: the session
+is sealed into the ticket the client stores, so the server retains
+nothing per client.  This benchmark pins the trade both ways:
+
+* **Memory series** -- the same workload (fixed file, 70% resumption)
+  over growing client populations, once against the classic id cache and
+  once with tickets.  At every point both modes resume the *same*
+  handshakes (equal hit-rate by construction: the client-side pool sees
+  an identical offer pattern), but the id-cache server retains one entry
+  per distinct client while the ticket server's cache stays at zero
+  entries / zero bytes -- flat, verified by the sanity block.
+
+* **Rotation-churn series** -- the ticket key ring rotates every
+  ``rotation_interval`` virtual seconds with a one-epoch accept window.
+  Shrinking the interval toward the per-transaction time pushes offered
+  tickets out of the window: accepted resumptions fall, full-handshake
+  fallbacks (rejections) rise, and stale-but-in-window offers show up as
+  renewals.  No point may fail a transaction: a bad ticket is never
+  fatal.
+
+Run directly (or via ``make bench-tickets``)::
+
+    PYTHONPATH=src python benchmarks/bench_ticket_resumption.py
+
+Writes ``BENCH_ticket_resumption.json`` at the repository root.  Modeled
+virtual time only -- host wall-clock never enters the numbers, so the
+output is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.crypto import rsa
+from repro.perf.baseline import write_json
+from repro.ssl.loopback import make_server_identity
+from repro.ssl.ticket import TicketKeyRing
+from repro.webserver.simulator import WebServerSimulator
+from repro.webserver.workload import RequestWorkload
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_ticket_resumption.json"
+
+CLIENT_POPULATIONS = (2, 8, 32)
+ROTATION_INTERVALS = (0.02, 0.01, 0.005, 0.002)
+
+NREQUESTS = 24
+FILE_SIZE = 2048
+RESUMPTION_RATE = 0.7
+KEY_BITS = 512
+SEED = b"ticket-bench"
+
+
+def _cache_bytes(cache) -> int:
+    """Retained server-side resumption state, in bytes: per live entry,
+    the session id, the master secret, and the two timestamp floats."""
+    return sum(len(s.session_id) + len(s.master_secret) + 16
+               for s in cache._entries.values())
+
+
+def run_point(key, cert, clients: int, *, tickets: bool,
+              rotation_interval: float = 3600.0,
+              resumption_rate: float = RESUMPTION_RATE,
+              nrequests: int = NREQUESTS) -> dict:
+    rsa.reset_error_tables()
+    ring = (TicketKeyRing(seed=SEED, rotation_interval=rotation_interval)
+            if tickets else None)
+    sim = WebServerSimulator(key=key, cert=cert, use_crt=True, seed=SEED,
+                             tickets=ring,
+                             client_pool_capacity=max(clients, 1))
+    workload = RequestWorkload.fixed(FILE_SIZE,
+                                     resumption_rate=resumption_rate,
+                                     seed=SEED, clients=clients)
+    result = sim.run(workload, nrequests)
+    cache = sim._session_cache
+    return {
+        "mode": "tickets" if tickets else "id-cache",
+        "clients": clients,
+        "rotation_interval_s": rotation_interval if tickets else None,
+        "requests_completed": result.requests_completed,
+        "failures": result.failures,
+        "resumed_handshakes": result.resumed_handshakes,
+        "hit_rate": result.resumed_handshakes / nrequests,
+        "server_cache_entries": len(cache),
+        "server_cache_bytes": _cache_bytes(cache),
+        "tickets_minted": result.tickets_minted,
+        "tickets_accepted": result.tickets_accepted,
+        "tickets_rejected": result.tickets_rejected,
+        "tickets_renewed": result.tickets_renewed,
+        "client_pool": sim._client_sessions.stats(),
+        "wire_bytes": result.wire_bytes,
+    }
+
+
+def main() -> dict:
+    key, cert = make_server_identity(KEY_BITS, seed=SEED)
+
+    memory_points = []
+    for clients in CLIENT_POPULATIONS:
+        pair = {}
+        for tickets in (False, True):
+            point = run_point(key, cert, clients, tickets=tickets)
+            pair[point["mode"]] = point
+            memory_points.append(point)
+            print(f"{point['mode']:8s} clients={clients:3d}  "
+                  f"hit_rate={point['hit_rate']:.2f}  "
+                  f"cache_entries={point['server_cache_entries']:3d}  "
+                  f"cache_bytes={point['server_cache_bytes']:5d}  "
+                  f"wire={point['wire_bytes']}")
+        if pair["tickets"]["server_cache_entries"] != 0:
+            raise SystemExit("ticket mode retained server-side cache "
+                             "state: " + json.dumps(pair["tickets"]))
+        if pair["tickets"]["hit_rate"] != pair["id-cache"]["hit_rate"]:
+            raise SystemExit(
+                f"modes diverged on hit-rate at clients={clients}: "
+                f"id-cache {pair['id-cache']['hit_rate']:.3f} vs tickets "
+                f"{pair['tickets']['hit_rate']:.3f}")
+
+    id_entries = [p["server_cache_entries"] for p in memory_points
+                  if p["mode"] == "id-cache"]
+    if not all(b > a for a, b in zip(id_entries, id_entries[1:])):
+        raise SystemExit("id-cache footprint did not grow with the "
+                         f"client population: {id_entries}")
+
+    churn_points = []
+    for interval in ROTATION_INTERVALS:
+        point = run_point(key, cert, 2, tickets=True,
+                          rotation_interval=interval,
+                          resumption_rate=0.9, nrequests=14)
+        churn_points.append(point)
+        print(f"rotation={interval:.3f}s  "
+              f"accepted={point['tickets_accepted']:2d}  "
+              f"rejected={point['tickets_rejected']:2d}  "
+              f"renewed={point['tickets_renewed']:2d}  "
+              f"failures={point['failures']}")
+        if point["failures"]:
+            raise SystemExit("a rejected ticket failed a transaction: "
+                             + json.dumps(point))
+
+    accepted = [p["tickets_accepted"] for p in churn_points]
+    rejected = [p["tickets_rejected"] for p in churn_points]
+    if not all(b <= a for a, b in zip(accepted, accepted[1:])):
+        raise SystemExit(f"accepted tickets did not fall as rotation "
+                         f"tightened: {accepted}")
+    if not all(b >= a for a, b in zip(rejected, rejected[1:])):
+        raise SystemExit(f"rejections did not rise as rotation "
+                         f"tightened: {rejected}")
+    if not any(p["tickets_renewed"] for p in churn_points):
+        raise SystemExit("no rotation point exercised renewal")
+
+    out = {
+        "config": {
+            "nrequests": NREQUESTS,
+            "file_size_bytes": FILE_SIZE,
+            "resumption_rate": RESUMPTION_RATE,
+            "key_bits": KEY_BITS,
+            "use_crt": True,
+            "client_populations": list(CLIENT_POPULATIONS),
+            "rotation_intervals_s": list(ROTATION_INTERVALS),
+        },
+        "memory_points": memory_points,
+        "rotation_churn": churn_points,
+    }
+    # Canonical writer: modeled virtual time is fully deterministic, so a
+    # regenerated artifact is byte-identical to the committed one unless a
+    # modeled cost actually changed.
+    write_json(OUT_PATH, out)
+    print(f"\nwrote {OUT_PATH}")
+    return out
+
+
+if __name__ == "__main__":
+    main()

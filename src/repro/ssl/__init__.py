@@ -21,6 +21,7 @@ from .record import (
 )
 from .server import SslServer
 from .session import CacheReplayDivergence, SessionCache, SslSession
+from .ticket import SESSION_TICKET_EXT, TicketKeyRing, TicketState
 from .trace import TraceEvent, WireTracer, format_trace
 from .x509 import (
     Certificate, make_ca_signed_pair, make_self_signed, verify_chain,
@@ -41,6 +42,7 @@ __all__ = [
     "ConnectionState", "ContentType", "KeyMaterial", "RecordLayer",
     "SSL3_VERSION", "TLS1_VERSION",
     "CacheReplayDivergence", "SessionCache", "SslSession",
+    "SESSION_TICKET_EXT", "TicketKeyRing", "TicketState",
     "TraceEvent", "WireTracer", "format_trace",
     "Certificate", "make_ca_signed_pair", "make_self_signed",
     "verify_chain",

@@ -26,10 +26,11 @@ from ..crypto.sha1 import SHA1
 from .codec import ByteWriter
 from .handshake import (
     CertificateMsg, ClientHello, ClientKeyExchange, Finished, HandshakeType,
-    ServerHello, ServerHelloDone, ServerKeyExchange,
+    NewSessionTicket, ServerHello, ServerHelloDone, ServerKeyExchange,
 )
 from .record import ContentType
 from .session import SslSession
+from .ticket import SESSION_TICKET_EXT
 from .x509 import Certificate
 
 PRE_MASTER_LENGTH = 48
@@ -56,11 +57,14 @@ class SslClient(SslConnection):
                  verify_certificate: bool = True,
                  trusted_issuer: Optional[Certificate] = None,
                  version: int = 0x0300,
-                 use_v2_hello: bool = False):
+                 use_v2_hello: bool = False,
+                 session_tickets: bool = False):
         """``version`` is the offered protocol version: 0x0300 (SSLv3, the
         paper's configuration and the default) or 0x0301 (TLS 1.0).
         ``use_v2_hello`` opens with an SSLv2-format compatibility hello,
-        as era browsers did."""
+        as era browsers did.  ``session_tickets`` advertises RFC-5077
+        stateless-ticket support (an empty SessionTicket extension); a
+        stored ticket on the offered session is presented regardless."""
         super().__init__()
         self._suites = tuple(suites) if suites else tuple(
             s for s in ALL_SUITES if s.cipher != "null")
@@ -68,6 +72,9 @@ class SslClient(SslConnection):
         self._offered_session = session
         self._offered_version = version
         self._use_v2_hello = use_v2_hello
+        self._session_tickets = session_tickets
+        self._offered_sid = b""
+        self._pending_ticket: Optional[bytes] = None
         self._verify_certificate = verify_certificate
         self._trusted_issuer = trusted_issuer
         self._state = ClientHandshakeState.START
@@ -106,13 +113,27 @@ class SslClient(SslConnection):
             else:
                 with perf.region("rand_pseudo_bytes"):
                     self.client_random = self._rng.bytes(32)
-                session_id = (self._offered_session.session_id
-                              if self._offered_session else b"")
+                offered = self._offered_session
+                extensions = ()
+                if offered is not None and offered.ticket:
+                    # Ticket resumption: present the opaque ticket and a
+                    # *random* session id as the acceptance handle (RFC
+                    # 5077 section 3.4 -- the server echoes it to signal
+                    # the ticket was taken).
+                    with perf.region("rand_pseudo_bytes"):
+                        session_id = self._rng.bytes(32)
+                    extensions = ((SESSION_TICKET_EXT, offered.ticket),)
+                else:
+                    session_id = offered.session_id if offered else b""
+                    if self._session_tickets:
+                        extensions = ((SESSION_TICKET_EXT, b""),)
+                self._offered_sid = session_id
                 self._send_handshake(ClientHello(
                     client_random=self.client_random,
                     session_id=session_id,
                     cipher_suites=tuple(s.suite_id for s in self._suites),
-                    version=self._offered_version))
+                    version=self._offered_version,
+                    extensions=extensions))
         self._state = ClientHandshakeState.WAIT_SERVER_HELLO
 
     def _send_v2_hello(self) -> None:
@@ -120,6 +141,7 @@ class SslClient(SslConnection):
         with perf.region("rand_pseudo_bytes"):
             challenge = self._rng.bytes(32)
         self.client_random = challenge.rjust(32, b"\x00")
+        self._offered_sid = b""
         message = build_v2_client_hello(
             self._offered_version,
             tuple(s.suite_id for s in self._suites), challenge)
@@ -151,6 +173,16 @@ class SslClient(SslConnection):
             ServerHelloDone.parse(body)
             self._update_handshake_hashes(raw)
             self._send_second_flight()
+        elif msg_type == HandshakeType.NEW_SESSION_TICKET:
+            # Arrives before the server's CCS on both flows (RFC 5077
+            # section 3.3); held until Finished verifies, then attached
+            # to the negotiated session.
+            if self._state not in (
+                    ClientHandshakeState.WAIT_FINISHED,
+                    ClientHandshakeState.WAIT_FINISHED_RESUMED):
+                raise UnexpectedMessage("new_session_ticket out of order")
+            self._update_handshake_hashes(raw)
+            self._pending_ticket = NewSessionTicket.parse(body).ticket
         elif msg_type == HandshakeType.FINISHED:
             if self._state not in (
                     ClientHandshakeState.WAIT_FINISHED,
@@ -182,8 +214,9 @@ class SslClient(SslConnection):
         self.server_random = hello.server_random
         offered = self._offered_session
         if (offered is not None and hello.session_id
-                and hello.session_id == offered.session_id):
-            # Abbreviated handshake accepted.
+                and hello.session_id == self._offered_sid):
+            # Abbreviated handshake accepted (for ticket offers the
+            # echoed id is our random acceptance handle, not a cached id).
             self.resumed = True
             self.master_secret = offered.master_secret
             self.session = offered
@@ -303,6 +336,11 @@ class SslClient(SslConnection):
                 cipher_suite_id=self.cipher_suite.suite_id,
                 master_secret=self.master_secret,
             ) if self._new_session_id else None
+        if self._pending_ticket is not None and self.session is not None:
+            # Fresh mint or rollover renewal: the ticket travels with the
+            # session so the next offer presents it.
+            self.session.ticket = self._pending_ticket
+        self._pending_ticket = None
         self._state = ClientHandshakeState.CONNECTED
         self.handshake_complete = True
 
@@ -328,6 +366,7 @@ class SslClient(SslConnection):
         self.handshake_complete = False
         self.resumed = False
         self._server_dh = None
+        self._pending_ticket = None
         self._offered_session = session
         self._init_handshake_hashes()
         self._state = ClientHandshakeState.START

@@ -26,6 +26,7 @@ class HandshakeType:
     HELLO_REQUEST = 0
     CLIENT_HELLO = 1
     SERVER_HELLO = 2
+    NEW_SESSION_TICKET = 4
     CERTIFICATE = 11
     SERVER_KEY_EXCHANGE = 12
     CERTIFICATE_REQUEST = 13
@@ -36,6 +37,7 @@ class HandshakeType:
 
     _NAMES = {
         0: "hello_request", 1: "client_hello", 2: "server_hello",
+        4: "new_session_ticket",
         11: "certificate", 12: "server_key_exchange",
         13: "certificate_request", 14: "server_hello_done",
         15: "certificate_verify", 16: "client_key_exchange", 20: "finished",
@@ -64,6 +66,25 @@ class HandshakeMessage:
                 + body)
 
 
+def parse_extensions(r: ByteReader) -> Tuple[Tuple[int, bytes], ...]:
+    """Parse the optional trailing hello-extensions block.
+
+    Consumes the rest of ``r``: either nothing remains (no extensions --
+    the classic SSLv3 encoding) or exactly one ``vec16`` of
+    ``type(2) || vec16(data)`` entries remains (RFC 3546 framing, which
+    RFC 5077 tickets ride in).
+    """
+    if not r.remaining():
+        return ()
+    er = ByteReader(r.vec16())
+    r.expect_end()
+    exts = []
+    while er.remaining():
+        etype = er.u16()
+        exts.append((etype, er.vec16()))
+    return tuple(exts)
+
+
 @dataclass
 class ClientHello(HandshakeMessage):
     client_random: bytes
@@ -71,6 +92,11 @@ class ClientHello(HandshakeMessage):
     cipher_suites: Tuple[int, ...] = ()
     compression_methods: Tuple[int, ...] = (0,)
     version: int = 0x0300
+    #: TLS hello extensions as ``(type, data)`` pairs.  The extensions
+    #: block is omitted from the wire entirely when empty, so a
+    #: no-extensions hello is byte-identical to the pre-extension
+    #: encoding (and to what the paper's SSLv3 client sent).
+    extensions: Tuple[Tuple[int, bytes], ...] = ()
 
     msg_type = HandshakeType.CLIENT_HELLO
 
@@ -86,7 +112,20 @@ class ClientHello(HandshakeMessage):
             suites.u16(s)
         w.vec16(suites.bytes())
         w.vec8(bytes(self.compression_methods))
+        if self.extensions:
+            ext = ByteWriter()
+            for etype, data in self.extensions:
+                ext.u16(etype)
+                ext.vec16(data)
+            w.vec16(ext.bytes())
         return w.bytes()
+
+    def extension(self, ext_type: int) -> "bytes | None":
+        """The data of extension ``ext_type``, or ``None`` if absent."""
+        for etype, data in self.extensions:
+            if etype == ext_type:
+                return data
+        return None
 
     @classmethod
     def parse(cls, body: bytes) -> "ClientHello":
@@ -100,12 +139,12 @@ class ClientHello(HandshakeMessage):
         suites = tuple(int.from_bytes(suite_bytes[i:i + 2], "big")
                        for i in range(0, len(suite_bytes), 2))
         compression = tuple(r.vec8())
-        r.expect_end()
+        extensions = parse_extensions(r)
         if not suites:
             raise DecodeError("empty cipher-suite list")
         return cls(client_random=random, session_id=session_id,
                    cipher_suites=suites, compression_methods=compression,
-                   version=version)
+                   version=version, extensions=extensions)
 
 
 @dataclass
@@ -291,6 +330,37 @@ class Finished(HandshakeMessage):
 
 
 @dataclass
+class NewSessionTicket(HandshakeMessage):
+    """RFC 5077 NewSessionTicket: an opaque encrypted-state blob the
+    client stores and offers back through the SessionTicket extension.
+
+    ``lifetime_hint`` is advisory (seconds); the authoritative lifetime
+    is sealed inside the ticket itself.
+    """
+
+    lifetime_hint: int = 0
+    ticket: bytes = b""
+
+    msg_type = HandshakeType.NEW_SESSION_TICKET
+
+    def body(self) -> bytes:
+        if not self.ticket:
+            raise ValueError("empty session ticket")
+        return (ByteWriter().u32(self.lifetime_hint)
+                .vec16(self.ticket).bytes())
+
+    @classmethod
+    def parse(cls, body: bytes) -> "NewSessionTicket":
+        r = ByteReader(body)
+        lifetime_hint = r.u32()
+        ticket = r.vec16()
+        r.expect_end()
+        if not ticket:
+            raise DecodeError("empty session ticket")
+        return cls(lifetime_hint=lifetime_hint, ticket=ticket)
+
+
+@dataclass
 class HelloRequest(HandshakeMessage):
     msg_type = HandshakeType.HELLO_REQUEST
 
@@ -313,6 +383,7 @@ _PARSERS: Dict[int, Type[HandshakeMessage]] = {
     HandshakeType.CLIENT_KEY_EXCHANGE: ClientKeyExchange,
     HandshakeType.FINISHED: Finished,
     HandshakeType.HELLO_REQUEST: HelloRequest,
+    HandshakeType.NEW_SESSION_TICKET: NewSessionTicket,
 }
 
 

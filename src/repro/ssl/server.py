@@ -45,11 +45,13 @@ from ..crypto.sha1 import SHA1
 from .codec import ByteReader
 from .handshake import (
     ClientHello, ClientKeyExchange, Finished, HandshakeType, HelloRequest,
-    ServerHello, ServerHelloDone, ServerKeyExchange, CertificateMsg,
+    NewSessionTicket, ServerHello, ServerHelloDone, ServerKeyExchange,
+    CertificateMsg,
 )
 from ..perf import charge, mix
 from .record import ContentType
 from .session import SessionCache, SslSession
+from .ticket import SESSION_TICKET_EXT, TicketKeyRing, TicketState
 from .x509 import Certificate
 
 PRE_MASTER_LENGTH = 48
@@ -237,7 +239,8 @@ class SslServer(SslConnection):
                  batcher: Optional[HandshakeBatcher] = None,
                  clock: Optional[Callable[[], float]] = None,
                  session_lifetime: Optional[float] = None,
-                 offload=None):
+                 offload=None,
+                 ticket_keys: Optional[TicketKeyRing] = None):
         """``cert_chain``: intermediate/root certificates sent after the
         leaf (the paper's server used a single self-signed certificate).
         ``batcher``: a shared :class:`HandshakeBatcher`; when set, the RSA
@@ -249,7 +252,11 @@ class SslServer(SslConnection):
         OpenSSL-default 300 s lifetime of minted sessions.  ``offload``:
         an :class:`repro.engines.offload.OffloadPool` serving this
         server's record crypto and RSA private-key ops (worker-local in
-        a farm); ``None`` keeps everything in software."""
+        a farm); ``None`` keeps everything in software.  ``ticket_keys``:
+        a :class:`~repro.ssl.ticket.TicketKeyRing`; when set, the server
+        mints RFC-5077-style stateless session tickets for clients that
+        advertise support and accepts offered tickets for resumption
+        without consulting (or populating) the id cache."""
         with perf.region("init"):
             super().__init__()
             self._key = private_key
@@ -277,6 +284,15 @@ class SslServer(SslConnection):
             self._client_states = None
             self._server_states = None
             self.resumed = False
+            self._ticket_keys = ticket_keys
+            self._client_wants_ticket = False
+            self._ticket_state: Optional[TicketState] = None
+            self._minted_ticket = False
+            self.resumed_via_ticket = False
+            self.tickets_minted = 0
+            self.tickets_accepted = 0
+            self.tickets_rejected = 0
+            self.tickets_renewed = 0
             _charge_split(SSL_NEW, "SSL_new")
             self._init_handshake_hashes()
 
@@ -367,17 +383,62 @@ class SslServer(SslConnection):
         self.cipher_suite = suite
         self.client_random = hello.client_random
 
+        offered_ticket = hello.extension(SESSION_TICKET_EXT)
+        self._client_wants_ticket = (self._ticket_keys is not None
+                                     and offered_ticket is not None)
+
+        ticket_state = None
+        renew = False
+        if (self._ticket_keys is not None and offered_ticket
+                and hello.session_id):
+            # A non-empty SessionTicket extension carries the sealed
+            # resumption state; the (random) session id alongside it is
+            # the RFC 5077 acceptance handle -- echoing it back signals
+            # the ticket was taken.  Any open failure silently falls back
+            # to a full handshake; tickets are never fatal.
+            now = self._clock() if self._clock is not None else 0.0
+            with perf.region("session_ticket"):
+                ticket_state, renew = self._ticket_keys.open(
+                    offered_ticket, now)
+            if ticket_state is not None and \
+                    ticket_state.cipher_suite_id not in hello.cipher_suites:
+                ticket_state = None
+            if ticket_state is None:
+                self.tickets_rejected += 1
+
         session = None
-        if self._cache is not None and hello.session_id:
+        if self._cache is not None and hello.session_id \
+                and not offered_ticket:
             # The virtual clock (when modelled) rides into the lookup so
-            # expired sessions miss instead of resuming forever.
+            # expired sessions miss instead of resuming forever.  A hello
+            # that offered a ticket skips the cache entirely: its session
+            # id is the client's random acceptance handle, not a cached
+            # id, and probing the cache with it would pollute the miss
+            # counters.
             now = self._clock() if self._clock is not None else None
             session = self._cache.get(hello.session_id, now)
             if session is not None and session.cipher_suite_id not in \
                     hello.cipher_suites:
                 session = None
 
-        if session is not None:
+        if ticket_state is not None:
+            # Stateless abbreviated handshake: everything the server
+            # needs came out of the ticket -- no lookup, no cache entry.
+            self.resumed = True
+            self.resumed_via_ticket = True
+            self.tickets_accepted += 1
+            self._session_id = hello.session_id
+            self.cipher_suite = BY_ID[ticket_state.cipher_suite_id]
+            self.master_secret = ticket_state.master_secret
+            self._ticket_state = ticket_state
+            self._pending.append(self._send_server_hello)
+            if renew:
+                # Opened under a previous (still-accepted) epoch's key:
+                # re-mint under the current key, RFC 5077 rollover style.
+                self._pending.append(self._send_new_session_ticket)
+            self._pending.append(self._send_ccs_and_finished_resumed)
+            self._state = ServerHandshakeState.WAIT_FINISHED_RESUMED
+        elif session is not None:
             # Abbreviated handshake: reuse master secret, skip the RSA op.
             self.resumed = True
             self._session_id = session.session_id
@@ -604,7 +665,11 @@ class SslServer(SslConnection):
             raise HandshakeFailure("client finished hash mismatch")
         self._update_handshake_hashes(raw)
         if self._state is ServerHandshakeState.WAIT_FINISHED:
-            # Full handshake: now send our CCS + finished.
+            # Full handshake: now send our CCS + finished.  A fresh
+            # NewSessionTicket precedes the CCS (RFC 5077 section 3.3)
+            # when the client advertised ticket support.
+            if self._ticket_keys is not None and self._client_wants_ticket:
+                self._pending.append(self._send_new_session_ticket)
             self._pending.append(self._send_cipher_spec)
             self._pending.append(self._send_finished)
         self._pending.append(self._complete)
@@ -620,6 +685,36 @@ class SslServer(SslConnection):
             with perf.region("final_finish_mac"):
                 verify = self._compute_verify_data(for_client=False)
             self._send_handshake(Finished(verify_data=verify))
+
+    def _send_new_session_ticket(self) -> None:
+        """Seal the handshake's resumption state into a fresh ticket.
+
+        On a full handshake this mints a brand-new ticket for the session
+        just negotiated; on a stale-epoch ticket resumption it *renews*
+        the accepted ticket -- same created_at/lifetime, re-sealed under
+        the current epoch's key -- so the client's clock on the session
+        does not reset at each rollover.
+        """
+        with perf.region("send_session_ticket"):
+            now = self._clock() if self._clock is not None else 0.0
+            if self._ticket_state is not None:
+                created_at = self._ticket_state.created_at
+                lifetime = self._ticket_state.lifetime
+                self.tickets_renewed += 1
+            else:
+                created_at = now
+                lifetime = (self._session_lifetime
+                            if self._session_lifetime is not None else 300.0)
+            with perf.region("session_ticket"):
+                ticket = self._ticket_keys.mint(
+                    cipher_suite_id=self.cipher_suite.suite_id,
+                    master_secret=self.master_secret,
+                    created_at=created_at, lifetime=lifetime,
+                    rng=self._rng, now=now)
+            self.tickets_minted += 1
+            self._minted_ticket = True
+            self._send_handshake(NewSessionTicket(
+                lifetime_hint=int(lifetime), ticket=ticket))
 
     def _send_ccs_and_finished_resumed(self) -> None:
         """Abbreviated handshake: server's CCS+Finished go first."""
@@ -640,7 +735,10 @@ class SslServer(SslConnection):
             self._flush()
             _charge_split(SSL_CLEANUP, "ssl3_cleanup_key_block")
             self._pre_master = None
-        if self._cache is not None and self._session_id and not self.resumed:
+        # A handshake that minted a ticket stays stateless: the client
+        # carries the session, so nothing enters the id cache.
+        if self._cache is not None and self._session_id \
+                and not self.resumed and not self._minted_ticket:
             extra = {}
             if self._clock is not None:
                 extra["created_at"] = self._clock()
@@ -683,5 +781,9 @@ class SslServer(SslConnection):
         self._client_states = None
         self._server_states = None
         self._session_id = b""
+        self._client_wants_ticket = False
+        self._ticket_state = None
+        self._minted_ticket = False
+        self.resumed_via_ticket = False
         self._init_handshake_hashes()
         self._state = ServerHandshakeState.WAIT_CLIENT_HELLO

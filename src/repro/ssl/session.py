@@ -29,6 +29,10 @@ class SslSession:
     master_secret: bytes
     created_at: float = 0.0
     lifetime: float = 300.0
+    #: Opaque RFC-5077-style session ticket (see :mod:`repro.ssl.ticket`);
+    #: ``None`` for id-only sessions.  A client holding one offers the
+    #: ticket instead of relying on server-side cache state.
+    ticket: Optional[bytes] = None
 
     def __post_init__(self) -> None:
         if not 1 <= len(self.session_id) <= 32:
@@ -73,6 +77,13 @@ class SessionCache:
     :meth:`purge_expired`, and explicit :meth:`remove` calls.
     ``hits``/``misses`` count lookups only, so a farm shard's resumption
     hit-rate and its churn can be read separately.
+
+    Storing a session under an id that is already live is *replacement*:
+    the new session takes the entry's place (and its LRU slot moves to
+    most-recent, exactly as a fresh insert's would), and the displaced
+    session is counted in ``replacements`` -- it left the cache early but
+    not through any eviction path, so folding it into ``evictions`` would
+    double-book churn.
     """
 
     def __init__(self, capacity: int = 1024):
@@ -83,11 +94,15 @@ class SessionCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.replacements = 0
 
     def put(self, session: SslSession) -> None:
         sid = session.session_id
         if sid in self._entries:
+            # A live entry is being overwritten in place; count the
+            # displaced session so churn accounting stays complete.
             self._entries.move_to_end(sid)
+            self.replacements += 1
         self._entries[sid] = session
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
@@ -187,8 +202,9 @@ class SessionCache:
     def stats(self) -> dict:
         """Lookup/churn counters plus current occupancy, for farm metrics."""
         return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions, "size": len(self._entries),
-                "capacity": self.capacity}
+                "evictions": self.evictions,
+                "replacements": self.replacements,
+                "size": len(self._entries), "capacity": self.capacity}
 
     def __len__(self) -> int:
         return len(self._entries)

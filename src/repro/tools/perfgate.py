@@ -337,6 +337,80 @@ def _farm_2workers_shared():
     return _farm_signature(result)
 
 
+@scenario("ticket_resumption", "Session tickets",
+          "Ticket-enabled simulator: a small client pool resumes via "
+          "RFC-5077-style stateless tickets, leaving the server-side id "
+          "cache empty the whole run")
+def _ticket_resumption():
+    from ..ssl.ticket import TicketKeyRing
+    from ..webserver.simulator import WebServerSimulator
+    from ..webserver.workload import RequestWorkload
+    key, cert = _identity(seed=b"pg-tickets")
+    ring = TicketKeyRing(seed=b"pg-tickets", rotation_interval=3600.0)
+    sim = WebServerSimulator(key=key, cert=cert, use_crt=True,
+                             seed=b"pg-tickets", tickets=ring,
+                             client_pool_capacity=8)
+    workload = RequestWorkload.fixed(2048, resumption_rate=0.7,
+                                     seed=b"pg-tickets", clients=4)
+    result = sim.run(workload, 10)
+    assert result.tickets_minted > 0, "no tickets minted"
+    assert result.tickets_accepted > 0, "no ticket resumption engaged"
+    assert len(sim._session_cache) == 0, \
+        "ticket mode leaked state into the server-side id cache"
+    return result.profiler, {
+        "requests_completed": result.requests_completed,
+        "failures": result.failures,
+        "wire_bytes": result.wire_bytes,
+        "resumed_handshakes": result.resumed_handshakes,
+        "tickets_minted": result.tickets_minted,
+        "tickets_accepted": result.tickets_accepted,
+        "tickets_rejected": result.tickets_rejected,
+        "tickets_renewed": result.tickets_renewed,
+        "session_cache_size": len(sim._session_cache),
+        "client_pool": sim._client_sessions.stats(),
+    }
+
+
+@scenario("ticket_rotation_churn", "Session tickets",
+          "Ticket key rotation churn: the rotation interval is a few "
+          "handshake-times of virtual wall-clock, so offered tickets "
+          "straddle epoch boundaries -- stale-but-in-window offers renew, "
+          "out-of-window offers fall back to full handshakes")
+def _ticket_rotation_churn():
+    from ..ssl.ticket import TicketKeyRing
+    from ..webserver.simulator import WebServerSimulator
+    from ..webserver.workload import RequestWorkload
+    key, cert = _identity(seed=b"pg-ticket-rot")
+    # Virtual seconds advance at cycles/2.4e9; one transaction here is a
+    # few ms, so a ~5 ms rotation interval with a one-epoch accept window
+    # yields both renewals and out-of-window rejections within 14 runs.
+    ring = TicketKeyRing(seed=b"pg-ticket-rot", rotation_interval=0.005,
+                         accept_window=1)
+    sim = WebServerSimulator(key=key, cert=cert, use_crt=True,
+                             seed=b"pg-ticket-rot", tickets=ring,
+                             client_pool_capacity=8)
+    workload = RequestWorkload.fixed(2048, resumption_rate=0.9,
+                                     seed=b"pg-ticket-rot", clients=2)
+    result = sim.run(workload, 14)
+    assert result.tickets_renewed > 0, \
+        "rotation scenario stopped exercising stale-epoch renewal"
+    assert result.tickets_rejected > 0, \
+        "rotation scenario stopped exercising out-of-window fallback"
+    assert result.failures == 0, result
+    return result.profiler, {
+        "requests_completed": result.requests_completed,
+        "failures": result.failures,
+        "wire_bytes": result.wire_bytes,
+        "resumed_handshakes": result.resumed_handshakes,
+        "tickets_minted": result.tickets_minted,
+        "tickets_accepted": result.tickets_accepted,
+        "tickets_rejected": result.tickets_rejected,
+        "tickets_renewed": result.tickets_renewed,
+        "session_cache_size": len(sim._session_cache),
+        "client_pool": sim._client_sessions.stats(),
+    }
+
+
 @scenario("engines_1x_bulk", "Section 6.2 offload",
           "Single crypto engine (AES cipher + hash pipeline, modexp "
           "assist) offloading a bulk-heavy AES workload; the offload "

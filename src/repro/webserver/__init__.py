@@ -4,6 +4,7 @@ from .capacity import (
     LoadResult, LoadSimulator, MixedLoadSimulator, farm_requests_per_second,
     requests_per_second,
 )
+from .clientpool import ClientPool
 from .costs import DEFAULT_COSTS, SystemCostModel
 from .farm import (
     PARTITIONED, POLICIES, SHARED, TOPOLOGIES,
@@ -21,6 +22,7 @@ from .workload import Request, RequestWorkload, document_bytes
 __all__ = [
     "LoadResult", "LoadSimulator", "MixedLoadSimulator",
     "farm_requests_per_second", "requests_per_second",
+    "ClientPool",
     "DEFAULT_COSTS", "SystemCostModel",
     "PARTITIONED", "POLICIES", "SHARED", "TOPOLOGIES",
     "FarmResult", "LeastConnectionsPolicy", "LoadBalancerPolicy",

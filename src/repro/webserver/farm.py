@@ -46,36 +46,19 @@ from ..engines.offload import OffloadConfig
 from ..ssl.ciphersuites import CipherSuite, DEFAULT_SUITE
 from ..ssl.loopback import make_server_identity
 from ..ssl.session import SessionCache, SslSession
+from ..ssl.ticket import TicketKeyRing
 from ..ssl.x509 import Certificate
 from .capacity import farm_requests_per_second
+from .clientpool import ClientPool
 from .costs import DEFAULT_COSTS, SystemCostModel
-from .simulator import SimulationResult, WebServerSimulator, _Transaction
+from .simulator import (
+    SimulationResult, WebServerSimulator, _Transaction, _admit_transaction,
+)
 from .workload import Request, RequestWorkload
 
 PARTITIONED = "partitioned"
 SHARED = "shared"
 TOPOLOGIES = (PARTITIONED, SHARED)
-
-
-class _SessionPool(list):
-    """Client-side session pool shared across all workers.
-
-    Clients are oblivious to the farm: whichever worker served their last
-    connection, the minted session lands here and the next resumable
-    connection offers it -- exactly the single-simulator behaviour, which
-    is what makes cross-worker resumption measurable at all.  ``append``
-    also records the minting worker so affinity routing (and the
-    cross-worker accounting) can find a session's home shard.
-    """
-
-    def __init__(self) -> None:
-        super().__init__()
-        self.owners: Dict[bytes, int] = {}
-        self.current_worker = 0
-
-    def append(self, session: SslSession) -> None:
-        self.owners[session.session_id] = self.current_worker
-        super().append(session)
 
 
 # ---------------------------------------------------------------------------
@@ -253,6 +236,22 @@ class FarmResult:
     def batched_ops(self) -> int:
         return sum(r.batched_ops for r in self.results)
 
+    @property
+    def tickets_minted(self) -> int:
+        return sum(r.tickets_minted for r in self.results)
+
+    @property
+    def tickets_accepted(self) -> int:
+        return sum(r.tickets_accepted for r in self.results)
+
+    @property
+    def tickets_rejected(self) -> int:
+        return sum(r.tickets_rejected for r in self.results)
+
+    @property
+    def tickets_renewed(self) -> int:
+        return sum(r.tickets_renewed for r in self.results)
+
     def offload_summary(self) -> Optional[Dict]:
         """Farm-wide crypto-engine offload stats; ``None`` when the run
         had no engine pool.
@@ -375,7 +374,7 @@ class _WorkerState:
         self.stalled = 0
 
 
-def _run_worker_round(state: _WorkerState, pool: _SessionPool) -> int:
+def _run_worker_round(state: _WorkerState, pool: ClientPool) -> int:
     """One scheduling round of one worker: step every in-flight
     transaction, retire done ones, tick/flush the batch clock, track
     stalls.  Returns the number of cross-worker resumptions retired this
@@ -441,7 +440,9 @@ class ServerFarm:
                  batch_timeout: int = 8,
                  session_lifetime: float = 300.0,
                  session_cache_capacity: int = 1024,
-                 engines: Optional[OffloadConfig] = None):
+                 engines: Optional[OffloadConfig] = None,
+                 tickets: Optional[TicketKeyRing] = None,
+                 client_pool_capacity: int = 64):
         """``key_set`` enables batch RSA: the member keys are partitioned
         round-robin into one disjoint sub-keyset per worker (see
         :meth:`BatchRsaKeySet.partition`), so every worker's batch queue
@@ -452,7 +453,13 @@ class ServerFarm:
         *own* :class:`~repro.engines.OffloadPool` built from the config --
         engines are per-machine hardware, and worker-local pools (like
         the batcher and partitioned cache shards) are what keeps the
-        process-parallel backend merge-free and bit-identical."""
+        process-parallel backend merge-free and bit-identical.
+
+        ``tickets`` attaches one :class:`~repro.ssl.ticket.TicketKeyRing`
+        shared by every worker (the ring is pure configuration -- all
+        workers derive identical keys), enabling stateless resumption
+        under every topology; ``client_pool_capacity`` bounds the
+        farm-global per-client session pool."""
         if nworkers < 1:
             raise ValueError("need at least one worker")
         if topology not in TOPOLOGIES:
@@ -484,7 +491,7 @@ class ServerFarm:
         subsets: Optional[List[BatchRsaKeySet]] = None
         if key_set is not None:
             subsets = key_set.partition(nworkers)
-        self._pool = _SessionPool()
+        self._pool = ClientPool(client_pool_capacity)
         self._sims: List[WebServerSimulator] = []
         for i in range(nworkers):
             sim = WebServerSimulator(
@@ -495,7 +502,8 @@ class ServerFarm:
                 session_cache=(shared_cache if shared_cache is not None
                                else SessionCache(session_cache_capacity)),
                 session_lifetime=session_lifetime,
-                engines=engines)
+                engines=engines, tickets=tickets,
+                client_pool_capacity=client_pool_capacity)
             # Clients resume against whatever worker they land on next:
             # the client-session pool is farm-global.
             sim._client_sessions = self._pool
@@ -522,10 +530,8 @@ class ServerFarm:
     def offered_session(self, group: Sequence[Request],
                         ) -> Optional[SslSession]:
         """The session the next client for ``group`` would offer (the same
-        most-recent-session rule as ``_Transaction.__init__``)."""
-        if group[0].resumable and self._pool:
-            return self._pool[-1]
-        return None
+        per-client pool rule as ``_Transaction.__init__``)."""
+        return self._pool.offer(group[0])
 
     def session_owner(self, session_id: bytes) -> Optional[int]:
         return self._pool.owners.get(session_id)
@@ -563,11 +569,13 @@ class ServerFarm:
             worker, _, owner = plan
             state = self._states[worker]
             self._pool.current_worker = worker
-            txn = _Transaction(state.sim, txn_id, pending.popleft(),
-                               state.profiler, state.result)
+            txn = _admit_transaction(state.sim, txn_id, pending.popleft(),
+                                     state.profiler, state.result)
+            txn_id += 1
+            if txn is None:
+                continue
             txn._farm_offered_owner = owner
             state.active.append(txn)
-            txn_id += 1
         return txn_id
 
     # -- the experiment -----------------------------------------------------

@@ -54,9 +54,10 @@ Determinism notes:
   is resolved against the parent's pool and shipped with the admission
   -- so worker selection, transaction ids and resumption offers are the
   serial ones by construction.
-* **Minted sessions** travel back in the round report and are appended
-  to the parent pool in worker-index order -- the order the serial loop
-  appends them -- before the next round's admissions read the pool.
+* **Minted sessions** travel back in the round report as
+  ``(client_id, session)`` pairs and are stored into the parent pool in
+  worker-index order -- the order the serial loop stores them -- before
+  the next round's admissions read the pool.
 * **The shared session cache** stays authoritative in the parent and is
   synchronised at round boundaries.  The only lookups a round can issue
   are for the sessions its own admissions offered (a ClientHello is
@@ -113,7 +114,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 from .. import runtime
 from ..crypto import rsa
 from ..ssl.session import CacheOp, SslSession
-from .simulator import _Transaction
+from .simulator import _admit_transaction
 from .workload import Request
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -123,37 +124,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class _ClientPoolMirror:
     """Child-side stand-in for the farm-global client session pool.
 
-    The real :class:`~repro.webserver.farm._SessionPool` lives in the
+    The real :class:`~repro.webserver.clientpool.ClientPool` lives in the
     parent.  Inside a worker process the simulator touches the pool at
     exactly two points, and the mirror covers both:
 
-    * ``_Transaction.__init__`` reads ``pool[-1]`` (guarded by
-      ``bool(pool)``) to pick the session a resuming client offers.  The
-      parent resolves that against its authoritative pool and ships the
-      session with the admission; the mirror replays it via
-      :attr:`offered`.
-    * ``_step_close`` appends the connection's (possibly freshly minted)
-      session.  The mirror collects appends in :attr:`minted`, which the
-      round report carries back for the parent to fold into the real
-      pool in worker-index order.
+    * ``_Transaction.__init__`` calls ``pool.offer(request)`` to pick the
+      session a resuming client offers.  The parent resolves that against
+      its authoritative pool and ships the session with the admission;
+      the mirror replays it via :attr:`offered`.
+    * ``_step_close`` calls ``pool.store(client_id, session)`` with the
+      connection's (possibly freshly minted or ticket-renewed) session.
+      The mirror collects the ``(client_id, session)`` pairs in
+      :attr:`minted`, which the round report carries back for the parent
+      to fold into the real pool in worker-index order.
     """
 
     def __init__(self, index: int) -> None:
         self.current_worker = index
         self.offered: Optional[SslSession] = None
-        self.minted: List[SslSession] = []
+        self.minted: List[tuple] = []
 
-    def append(self, session: SslSession) -> None:
-        self.minted.append(session)
-
-    def __bool__(self) -> bool:
-        return self.offered is not None
-
-    def __getitem__(self, index: int) -> SslSession:
-        if index != -1 or self.offered is None:
-            raise IndexError(
-                "client pool mirror only serves the most recent session")
+    def offer(self, request: Request) -> Optional[SslSession]:
         return self.offered
+
+    def store(self, client_id, session: Optional[SslSession]) -> None:
+        if session is not None:
+            self.minted.append((client_id, session))
 
 
 class _SharedCacheMirror:
@@ -264,10 +260,12 @@ def _worker_main(conn) -> None:
                             cache_mirror.entries[
                                 cache_entry.session_id] = cache_entry
                         mirror.offered = offered
-                        txn = _Transaction(state.sim, txn_id, group,
-                                           state.profiler, state.result)
-                        txn._farm_offered_owner = owner
-                        state.active.append(txn)
+                        txn = _admit_transaction(state.sim, txn_id, group,
+                                                 state.profiler,
+                                                 state.result)
+                        if txn is not None:
+                            txn._farm_offered_owner = owner
+                            state.active.append(txn)
                         mirror.offered = None
                 report = {}
                 for state in states:
@@ -423,8 +421,8 @@ def run_parallel(farm: "ServerFarm", pending: "deque[List[Request]]",
             for i in range(farm.nworkers):
                 minted, delta, count, cache_ops = reports[proc_of[i]][i]
                 pool.current_worker = i
-                for session in minted:
-                    pool.append(session)
+                for client_id, session in minted:
+                    pool.store(client_id, session)
                 if cache_ops:
                     shared_cache.replay(cache_ops)
                 cross += delta

@@ -28,8 +28,10 @@ from ..ssl.client import SslClient
 from ..ssl.errors import SslError
 from ..ssl.loopback import make_server_identity, pump
 from ..ssl.server import HandshakeBatcher, SslServer
-from ..ssl.session import SessionCache, SslSession
+from ..ssl.session import SessionCache
+from ..ssl.ticket import TicketKeyRing
 from ..ssl.x509 import Certificate, make_self_signed
+from .clientpool import ClientPool
 from .costs import DEFAULT_COSTS, SystemCostModel
 from .httpd import ApacheWorker, build_request, parse_response
 from .workload import Request, RequestWorkload
@@ -56,6 +58,12 @@ class SimulationResult:
     #: Crypto-engine offload snapshot (:meth:`OffloadPool.snapshot`);
     #: ``None`` when the run had no engine pool.
     offload: Optional[Dict[str, object]] = None
+    #: Stateless session-ticket counters, folded from every server
+    #: endpoint at teardown; all zero when tickets are off.
+    tickets_minted: int = 0
+    tickets_accepted: int = 0
+    tickets_rejected: int = 0
+    tickets_renewed: int = 0
 
     def module_shares(self) -> Dict[str, float]:
         """Module -> share of total cycles (Table 1)."""
@@ -77,7 +85,7 @@ class SimulationResult:
         "init", "get_client_hello", "send_server_hello",
         "send_server_cert", "send_server_kx", "send_server_done",
         "get_client_kx", "get_finished", "send_cipher_spec",
-        "send_finished", "server_flush",
+        "send_finished", "send_session_ticket", "server_flush",
     )
 
     def phase_breakdown(self) -> Dict[str, float]:
@@ -93,6 +101,33 @@ class SimulationResult:
         total = self.profiler.total_cycles()
         return {"handshake": handshake, "bulk": bulk,
                 "system": max(0.0, total - handshake - bulk)}
+
+
+def _fold_ticket_counters(result: SimulationResult, server: SslServer) -> None:
+    result.tickets_minted += server.tickets_minted
+    result.tickets_accepted += server.tickets_accepted
+    result.tickets_rejected += server.tickets_rejected
+    result.tickets_renewed += server.tickets_renewed
+
+
+def _admit_transaction(sim: "WebServerSimulator", txn_id: int,
+                       requests: List[Request],
+                       server_prof: perf.Profiler,
+                       result: SimulationResult) -> Optional["_Transaction"]:
+    """Construct a transaction, folding setup failures into the result.
+
+    ``_Transaction.__init__`` runs real handshake openings (server setup,
+    the client's first flight); an :class:`SslError` escaping it would
+    crash the scheduling loop while :meth:`_Transaction.step` failures are
+    counted.  Admission failures are accounted the same way -- every
+    request of the would-be connection becomes a failure -- and ``None``
+    is returned so the caller simply does not schedule it.
+    """
+    try:
+        return _Transaction(sim, txn_id, requests, server_prof, result)
+    except SslError:
+        result.failures += len(requests)
+        return None
 
 
 class _Transaction:
@@ -128,9 +163,8 @@ class _Transaction:
             perf.charge_cycles(sim._costs.other_cycles(total_kb),
                                function="libc_misc", module=perf.OTHER)
 
-        resume = None
-        if requests[0].resumable and sim._client_sessions:
-            resume = sim._client_sessions[-1]
+        resume = sim._client_sessions.offer(requests[0])
+        self._client_key = requests[0].client_id
 
         key, cert = sim._next_server_identity()
         with perf.activate(server_prof):
@@ -141,11 +175,13 @@ class _Transaction:
                 batcher=sim._batcher,
                 clock=server_prof.seconds,
                 session_lifetime=sim._session_lifetime,
-                offload=sim._engines)
+                offload=sim._engines,
+                ticket_keys=sim._tickets)
         with perf.activate(self._client_prof):
             self.client = SslClient(suites=(sim._suite,), session=resume,
                                     version=sim._version,
-                                    rng=PseudoRandom(sim._seed + b"-c" + tag))
+                                    rng=PseudoRandom(sim._seed + b"-c" + tag),
+                                    session_tickets=sim._tickets is not None)
             self.client.start_handshake()
 
     @property
@@ -162,11 +198,13 @@ class _Transaction:
         self.phase = _Transaction.DONE
 
     def _account_wire(self) -> None:
-        """Fold the server endpoint's transcript bytes into the result."""
+        """Fold the server endpoint's transcript bytes (and its ticket
+        counters) into the result; runs exactly once per transaction."""
         server = getattr(self, "server", None)
         if server is not None:
             self._result.wire_bytes += (server.stats.bytes_sent
                                         + server.stats.bytes_received)
+            _fold_ticket_counters(self._result, server)
 
     def step(self) -> bool:
         """Advance one increment; returns True if any progress was made."""
@@ -236,8 +274,8 @@ class _Transaction:
         with perf.activate(self._server_prof):
             self.server.receive(wire)
             self.server.close()
-        if self.client.session is not None:
-            self._sim._client_sessions.append(self.client.session)
+        self._sim._client_sessions.store(self._client_key,
+                                         self.client.session)
         self._account_wire()
         self.phase = _Transaction.DONE
         return True
@@ -258,7 +296,9 @@ class WebServerSimulator:
                  batch_timeout: int = 8,
                  session_cache: Optional[SessionCache] = None,
                  session_lifetime: float = 300.0,
-                 engines: Optional[OffloadConfig] = None):
+                 engines: Optional[OffloadConfig] = None,
+                 tickets: Optional[TicketKeyRing] = None,
+                 client_pool_capacity: int = 64):
         """``use_crt`` defaults to False: the paper's handshake
         measurements (Tables 1-3) are consistent with a non-CRT private
         operation; see DESIGN.md.  ``version`` is the protocol the
@@ -274,7 +314,14 @@ class WebServerSimulator:
         :meth:`~repro.perf.Profiler.seconds` clock.  ``engines`` attaches
         a crypto-engine pool (:class:`repro.engines.OffloadConfig`): every
         server connection offloads record crypto and RSA decrypts to it,
-        falling back to software when the pool is saturated."""
+        falling back to software when the pool is saturated.  ``tickets``
+        attaches a :class:`~repro.ssl.ticket.TicketKeyRing`: servers mint
+        stateless session tickets, clients advertise support and offer
+        stored tickets, and the id cache stays empty.
+        ``client_pool_capacity`` bounds the LRU
+        :class:`~repro.webserver.clientpool.ClientPool` of per-client
+        resumable sessions -- total retained client state is O(capacity)
+        no matter how many distinct clients the workload draws."""
         if key is None or cert is None:
             key, cert = make_server_identity(1024, seed=seed + b"-identity")
         key.use_crt = use_crt
@@ -287,7 +334,8 @@ class WebServerSimulator:
         self._session_cache = (session_cache if session_cache is not None
                                else SessionCache())
         self._session_lifetime = session_lifetime
-        self._client_sessions: List[SslSession] = []
+        self._tickets = tickets
+        self._client_sessions = ClientPool(client_pool_capacity)
         self._batcher: Optional[HandshakeBatcher] = None
         self._identities: List[tuple] = [(key, cert)]
         if key_set is not None:
@@ -316,9 +364,7 @@ class WebServerSimulator:
             perf.charge_cycles(self._costs.other_cycles(total_kb),
                                function="libc_misc", module=perf.OTHER)
 
-        resume = None
-        if requests[0].resumable and self._client_sessions:
-            resume = self._client_sessions[-1]
+        resume = self._client_sessions.offer(requests[0])
 
         with perf.activate(server_prof):
             server = SslServer(self._key, self._cert, suites=(self._suite,),
@@ -326,17 +372,20 @@ class WebServerSimulator:
                                rng=PseudoRandom(self._seed + b"-s" + tag),
                                clock=server_prof.seconds,
                                session_lifetime=self._session_lifetime,
-                               offload=self._engines)
+                               offload=self._engines,
+                               ticket_keys=self._tickets)
         with perf.activate(client_prof):
             client = SslClient(suites=(self._suite,), session=resume,
                                version=self._version,
-                               rng=PseudoRandom(self._seed + b"-c" + tag))
+                               rng=PseudoRandom(self._seed + b"-c" + tag),
+                               session_tickets=self._tickets is not None)
             client.start_handshake()
         pump(client, server, client_prof, server_prof)
         if not server.handshake_complete:
             result.failures += len(requests)
             result.wire_bytes += (server.stats.bytes_sent
                                   + server.stats.bytes_received)
+            _fold_ticket_counters(result, server)
             return
         if server.resumed:
             result.resumed_handshakes += 1
@@ -370,9 +419,9 @@ class WebServerSimulator:
             server.close()
         result.wire_bytes += (server.stats.bytes_sent
                               + server.stats.bytes_received)
+        _fold_ticket_counters(result, server)
 
-        if client.session is not None:
-            self._client_sessions.append(client.session)
+        self._client_sessions.store(requests[0].client_id, client.session)
 
     def _next_server_identity(self) -> tuple:
         """Round-robin (key, cert) assignment across batch members."""
@@ -443,9 +492,11 @@ class WebServerSimulator:
         stalled = 0
         while pending or active:
             while pending and len(active) < concurrency:
-                active.append(_Transaction(self, txn_id, pending.popleft(),
-                                           server_prof, result))
+                txn = _admit_transaction(self, txn_id, pending.popleft(),
+                                         server_prof, result)
                 txn_id += 1
+                if txn is not None:
+                    active.append(txn)
             progressed = False
             for txn in list(active):
                 if txn.step():

@@ -6,14 +6,23 @@ Beyond fixed sizes, :class:`RequestWorkload` supports mixes so the example
 applications can model more realistic distributions (e.g. a banking-style
 small-transfer workload versus a B2B bulk-transfer workload, the two
 regimes the paper contrasts in its conclusions).
+
+With ``clients`` set, each request also carries a client identity drawn
+uniformly from ``range(clients)``, so resumption models a *population* --
+each client resumes its own session via the simulator's
+:class:`~repro.webserver.clientpool.ClientPool` -- instead of one
+infinitely-fast client hammering the server.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..crypto.rand import PseudoRandom
+
+#: Resolution of the size/resumption draws: one draw in [0, 10^6).
+_DRAW_SPAN = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -23,6 +32,7 @@ class Request:
     path: str
     size_bytes: int
     resumable: bool = False  # client will offer its cached session
+    client_id: Optional[int] = None  # population identity; None = anonymous
 
 
 def document_bytes(path: str, size: int) -> bytes:
@@ -37,11 +47,13 @@ class RequestWorkload:
 
     def __init__(self, size_mix: Sequence[Tuple[int, float]],
                  resumption_rate: float = 0.0,
-                 seed: bytes = b"workload"):
+                 seed: bytes = b"workload",
+                 clients: Optional[int] = None):
         """``size_mix``: (size_bytes, weight) pairs; weights need not sum
         to 1.  ``resumption_rate``: fraction of requests that reuse an SSL
         session (0 reproduces the paper's full-handshake-per-request
-        setup)."""
+        setup).  ``clients``: population size; when set, every request is
+        stamped with a uniformly drawn client id in ``range(clients)``."""
         if not size_mix:
             raise ValueError("size mix must not be empty")
         if not 0.0 <= resumption_rate <= 1.0:
@@ -49,24 +61,38 @@ class RequestWorkload:
         total = float(sum(w for _, w in size_mix))
         if total <= 0:
             raise ValueError("size mix weights must be positive")
-        self._sizes = [(s, w / total) for s, w in size_mix]
+        if clients is not None and clients < 1:
+            raise ValueError("clients must be positive")
+        # Integer cumulative thresholds over the int_below draw: floating
+        # cumulative shares drift for weight mixes that don't sum cleanly
+        # (e.g. three 1/3 shares accumulate to 0.9999...), misassigning
+        # boundary draws.  Rounding each *cumulative* share once -- and
+        # pinning the final threshold to the full span -- keeps every
+        # bucket within half a draw-unit of its exact share.
+        self._thresholds: List[Tuple[int, int]] = []
+        acc = 0.0
+        for size, weight in size_mix:
+            acc += weight
+            self._thresholds.append((round(acc / total * _DRAW_SPAN), size))
+        self._thresholds[-1] = (_DRAW_SPAN, self._thresholds[-1][1])
         self._resumption_rate = resumption_rate
+        self._clients = clients
         self._rng = PseudoRandom(seed)
 
     @classmethod
     def fixed(cls, size_bytes: int, resumption_rate: float = 0.0,
-              seed: bytes = b"workload") -> "RequestWorkload":
+              seed: bytes = b"workload",
+              clients: Optional[int] = None) -> "RequestWorkload":
         """The paper's workload: every request fetches the same file."""
-        return cls([(size_bytes, 1.0)], resumption_rate, seed)
+        return cls([(size_bytes, 1.0)], resumption_rate, seed,
+                   clients=clients)
 
     def _pick_size(self) -> int:
-        x = self._rng.int_below(1_000_000) / 1_000_000.0
-        acc = 0.0
-        for size, share in self._sizes:
-            acc += share
-            if x < acc:
+        x = self._rng.int_below(_DRAW_SPAN)
+        for bound, size in self._thresholds:
+            if x < bound:
                 return size
-        return self._sizes[-1][0]
+        return self._thresholds[-1][1]
 
     def requests(self, count: int) -> Iterator[Request]:
         """Yield ``count`` requests."""
@@ -75,10 +101,12 @@ class RequestWorkload:
         for i in range(count):
             size = self._pick_size()
             resume = (self._resumption_rate > 0.0
-                      and self._rng.int_below(1_000_000) / 1_000_000.0
+                      and self._rng.int_below(_DRAW_SPAN) / _DRAW_SPAN
                       < self._resumption_rate)
+            client_id = (self._rng.int_below(self._clients)
+                         if self._clients is not None else None)
             yield Request(path=f"/doc-{size}-{i}.html", size_bytes=size,
-                          resumable=resume)
+                          resumable=resume, client_id=client_id)
 
     def as_list(self, count: int) -> List[Request]:
         return list(self.requests(count))

@@ -1,0 +1,140 @@
+"""ClientPool: the bounded LRU replacing the unbounded session list.
+
+The regression this pins (ISSUE satellite 1): the simulator used to
+append every completed connection's session to a plain list that was
+never pruned -- O(completed connections) retained memory.  The pool
+bounds retained state at ``capacity`` entries no matter how many
+distinct clients flow through, while reproducing the old
+"offer the most recent session" behaviour for anonymous workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ssl.session import SslSession
+from repro.webserver import ClientPool
+from repro.webserver.workload import Request
+
+
+def session(n: int) -> SslSession:
+    return SslSession(session_id=bytes([n % 256]) * 32,
+                      cipher_suite_id=0x000A,
+                      master_secret=bytes([n % 256]) * 48)
+
+
+def request(client_id=None, resumable=True) -> Request:
+    return Request(path="/r", size_bytes=1024, resumable=resumable,
+                   client_id=client_id)
+
+
+class TestClientPool:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ClientPool(0)
+
+    def test_store_and_offer_by_identity(self):
+        pool = ClientPool(4)
+        s1, s2 = session(1), session(2)
+        pool.store(1, s1)
+        pool.store(2, s2)
+        assert pool.offer(request(client_id=1)) is s1
+        assert pool.offer(request(client_id=2)) is s2
+        assert pool.offer(request(client_id=3)) is None
+
+    def test_anonymous_requests_get_latest(self):
+        pool = ClientPool(4)
+        pool.store(1, session(1))
+        pool.store(2, session(2))
+        assert pool.offer(request()) is pool.latest()
+        assert pool.latest().session_id == session(2).session_id
+
+    def test_none_is_a_valid_client_key(self):
+        # The legacy single-stream workload has no client ids: every
+        # store lands on the one None slot, so the pool holds exactly
+        # one session however many connections complete.
+        pool = ClientPool(4)
+        for n in range(10):
+            pool.store(None, session(n))
+        assert len(pool) == 1
+        assert pool.offer(request()).session_id == session(9).session_id
+
+    def test_non_resumable_offers_nothing(self):
+        pool = ClientPool(4)
+        pool.store(1, session(1))
+        assert pool.offer(request(client_id=1, resumable=False)) is None
+
+    def test_none_sessions_ignored(self):
+        pool = ClientPool(4)
+        pool.store(1, None)
+        assert len(pool) == 0 and pool.stores == 0
+
+    def test_lru_eviction_drops_oldest(self):
+        pool = ClientPool(2)
+        pool.store(1, session(1))
+        pool.store(2, session(2))
+        pool.store(3, session(3))
+        assert len(pool) == 2
+        assert pool.evictions == 1
+        assert pool.offer(request(client_id=1)) is None    # evicted
+        assert pool.offer(request(client_id=2)) is not None
+
+    def test_restore_refreshes_lru_position(self):
+        pool = ClientPool(2)
+        pool.store(1, session(1))
+        pool.store(2, session(2))
+        pool.store(1, session(11))      # client 1 back to MRU
+        pool.store(3, session(3))       # evicts client 2, not 1
+        assert pool.offer(request(client_id=1)).session_id \
+            == session(11).session_id
+        assert pool.offer(request(client_id=2)) is None
+
+    def test_offer_does_not_mutate_lru_order(self):
+        pool = ClientPool(2)
+        pool.store(1, session(1))
+        pool.store(2, session(2))
+        pool.offer(request(client_id=1))    # a read, not a refresh
+        pool.store(3, session(3))           # still evicts client 1
+        assert pool.offer(request(client_id=1)) is None
+
+    def test_owner_map_tracks_and_prunes(self):
+        pool = ClientPool(2)
+        pool.current_worker = 3
+        s1 = session(1)
+        pool.store(1, s1)
+        assert pool.session_owner(s1.session_id) == 3
+        pool.current_worker = 5
+        s1b = session(11)
+        pool.store(1, s1b)                  # replaced: old owner pruned
+        assert pool.session_owner(s1.session_id) is None
+        assert pool.session_owner(s1b.session_id) == 5
+        pool.store(2, session(2))
+        pool.store(3, session(3))           # evicts client 1's entry
+        assert pool.session_owner(s1b.session_id) is None
+
+    def test_bounded_growth_regression(self):
+        # The satellite-1 contract: 1000 distinct clients through a
+        # capacity-8 pool retain at most 8 sessions (and 8 owner-map
+        # entries) at every point, with churn fully counted.
+        pool = ClientPool(8)
+        for n in range(1000):
+            pool.store(n, session(n))
+            assert len(pool) <= 8
+            assert len(pool.owners) <= 8
+        assert pool.peak_size == 8
+        assert pool.stores == 1000
+        assert pool.evictions == 992
+
+    def test_stats(self):
+        pool = ClientPool(2)
+        pool.store(1, session(1))
+        pool.store(2, session(2))
+        pool.store(3, session(3))
+        assert pool.stats() == {"size": 2, "capacity": 2, "peak_size": 2,
+                                "stores": 3, "evictions": 1}
+
+    def test_bool_and_len(self):
+        pool = ClientPool(2)
+        assert not pool and len(pool) == 0
+        pool.store(1, session(1))
+        assert pool and len(pool) == 1

@@ -214,4 +214,5 @@ class TestCacheStats:
         cache.get(b"\x08" * 32)
         cache.get(b"\x09" * 32)
         assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0,
-                                 "size": 1, "capacity": 8}
+                                 "replacements": 0, "size": 1,
+                                 "capacity": 8}

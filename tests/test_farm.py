@@ -211,7 +211,7 @@ class TestAffinityUnderSaturation:
                              cipher_suite_id=DES_CBC3_SHA.suite_id,
                              master_secret=b"m" * 48)
         farm._pool.current_worker = worker
-        farm._pool.append(session)
+        farm._pool.store(None, session)
         return session
 
     def test_holds_resuming_client_for_saturated_sticky_worker(

@@ -230,23 +230,25 @@ class TestBackendSelection:
 
 class TestClientPoolMirror:
     def test_reads_only_injected_offer(self):
+        from repro.webserver.workload import Request
+        request = Request(path="/r", size_bytes=1024, resumable=True)
         mirror = _ClientPoolMirror(3)
-        assert not mirror
-        with pytest.raises(IndexError):
-            mirror[-1]
+        assert mirror.offer(request) is None
         mirror.offered = object()
-        assert mirror
-        assert mirror[-1] is mirror.offered
-        with pytest.raises(IndexError):
-            mirror[0]
+        assert mirror.offer(request) is mirror.offered
 
     def test_collects_minted_sessions(self):
+        from repro.webserver.workload import Request
+        request = Request(path="/r", size_bytes=1024, resumable=True)
         mirror = _ClientPoolMirror(0)
         s1, s2 = object(), object()
-        mirror.append(s1)
-        mirror.append(s2)
-        assert mirror.minted == [s1, s2]
-        assert not mirror  # minted sessions are not offerable locally
+        mirror.store(None, s1)
+        mirror.store(7, s2)
+        mirror.store(8, None)  # failed handshakes are not collected
+        assert mirror.minted == [(None, s1), (7, s2)]
+        # Minted sessions are not offerable locally: only the parent's
+        # shipped offer is served.
+        assert mirror.offer(request) is None
 
     def test_mirror_pickles(self):
         mirror = _ClientPoolMirror(1)

@@ -104,10 +104,56 @@ class TestWorkload:
         dict(size_mix=[]),
         dict(size_mix=[(10, 0.0)]),
         dict(size_mix=[(10, 1.0)], resumption_rate=1.5),
+        dict(size_mix=[(10, 1.0)], clients=0),
     ])
     def test_validation(self, bad_kwargs):
         with pytest.raises(ValueError):
             RequestWorkload(**bad_kwargs)
+
+    def test_three_way_mix_has_no_boundary_skew(self):
+        # Satellite fix: cumulative *float* shares drift for weights that
+        # don't sum cleanly -- three 1/3 shares accumulate to 0.9999...,
+        # so the last bucket silently absorbed boundary draws.  With
+        # integer cumulative thresholds each bucket's share of the draw
+        # span is exact to within one unit in 10^6.
+        wl = RequestWorkload([(100, 1.0), (200, 1.0), (300, 1.0)],
+                             seed=b"skew")
+        counts = {100: 0, 200: 0, 300: 0}
+        n = 9000
+        for r in wl.requests(n):
+            counts[r.size_bytes] += 1
+        for size, c in counts.items():
+            assert abs(c - n / 3) < n * 0.05, (size, counts)
+
+    def test_mix_thresholds_are_exact_integers(self):
+        # The final threshold is pinned to the full draw span: no draw
+        # value can fall off the end of the table, whatever the weights.
+        wl = RequestWorkload([(1, 1.0), (2, 1.0), (3, 1.0)], seed=b"t")
+        bounds = [b for b, _ in wl._thresholds]
+        assert bounds[-1] == 1_000_000
+        assert bounds == sorted(bounds)
+        assert all(isinstance(b, int) for b in bounds)
+        # Three equal weights: thresholds within one unit of exact
+        # thirds, not 333299-style drifted values.
+        assert abs(bounds[0] - 333_333) <= 1
+        assert abs(bounds[1] - 666_667) <= 1
+
+    def test_client_ids_drawn_only_when_population_set(self):
+        # No population: no client draw at all, so pre-existing seeded
+        # workloads (and every committed baseline) see an unchanged
+        # request stream.
+        anon = RequestWorkload.fixed(100, seed=b"c")
+        assert all(r.client_id is None for r in anon.requests(5))
+        pop = RequestWorkload.fixed(100, resumption_rate=0.5, seed=b"c",
+                                    clients=7)
+        stamped = pop.as_list(20)
+        assert all(r.client_id in range(7) for r in stamped)
+        assert len({r.client_id for r in stamped}) > 1
+        # Deterministic per seed, like the rest of the stream.
+        again = RequestWorkload.fixed(100, resumption_rate=0.5, seed=b"c",
+                                      clients=7).as_list(20)
+        assert [r.client_id for r in stamped] \
+            == [r.client_id for r in again]
 
 
 class TestCostModel:
@@ -197,6 +243,32 @@ class TestTransactionAccounting:
         txn._fail()
         assert txn._result.failures == 0
         assert txn.done
+
+    def test_admission_failure_counts_not_crashes(self, identity512,
+                                                  monkeypatch):
+        """Satellite fix: _Transaction.__init__ runs real handshake
+        openings, and an SslError escaping it used to crash
+        _run_concurrent's scheduling loop instead of being accounted.
+        Now admission failures count every request of the would-be
+        connection as a failure and the run completes."""
+        from repro.ssl.errors import SslError
+        from repro.webserver import simulator as sim_mod
+
+        key, cert = identity512
+        sim = WebServerSimulator(key=key, cert=cert, use_crt=True)
+        boom = {"remaining": 2}
+        original = sim_mod.SslServer.__init__
+
+        def flaky(self, *args, **kwargs):
+            if boom["remaining"]:
+                boom["remaining"] -= 1
+                raise SslError("injected constructor failure")
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(sim_mod.SslServer, "__init__", flaky)
+        result = sim.run(RequestWorkload.fixed(1024), 5, concurrency=2)
+        assert result.failures == 2
+        assert result.requests_completed == 3
 
 
 class TestKeepAlive:

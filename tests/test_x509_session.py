@@ -170,6 +170,50 @@ class TestSessionCache:
         assert cache.evictions == 5       # 5: explicit remove
         assert cache.stats()["evictions"] == 5
 
+    def test_replacement_counted_separately(self):
+        # put() under a live id used to overwrite silently: the displaced
+        # session left the cache with no counter recording it.  It is
+        # *replacement*, not eviction -- folding it into evictions would
+        # double-book churn (the slot never emptied).
+        cache = SessionCache(capacity=2)
+        a, b = (self._session(t) for t in (b"a", b"b"))
+        cache.put(a)
+        cache.put(b)
+        fresh_a = self._session(b"a")
+        cache.put(fresh_a)                       # same id, new session
+        assert cache.replacements == 1
+        assert cache.evictions == 0              # no slot was freed
+        assert len(cache) == 2
+        assert cache.get(a.session_id) is fresh_a
+        assert cache.stats()["replacements"] == 1
+
+    def test_replacement_refreshes_lru_slot(self):
+        # A replaced entry takes the most-recent slot, exactly as a
+        # fresh insert of that id would.
+        cache = SessionCache(capacity=2)
+        a, b, c = (self._session(t) for t in (b"a", b"b", b"c"))
+        cache.put(a)
+        cache.put(b)
+        cache.put(self._session(b"a"))           # a replaced -> MRU
+        cache.put(c)                             # evicts b, not a
+        assert cache.peek(a.session_id) is not None
+        assert cache.peek(b.session_id) is None
+        assert (cache.replacements, cache.evictions) == (1, 1)
+
+    def test_replacement_is_not_any_other_exit_path(self):
+        # Pin the full counter separation: a replace touches neither the
+        # hit/miss counters nor the eviction counter, and the other exit
+        # paths never touch replacements.
+        cache = SessionCache(capacity=1)
+        a = self._session(b"a")
+        cache.put(a)
+        cache.put(self._session(b"a"))
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert (cache.replacements, cache.evictions) == (1, 0)
+        cache.put(self._session(b"b"))           # LRU-evicts the a-slot
+        cache.remove(b"b".ljust(8, b"\0"))       # explicit remove
+        assert (cache.replacements, cache.evictions) == (1, 2)
+
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             SessionCache(capacity=0)
