@@ -6,8 +6,8 @@
 PY_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
 .PHONY: install test check bench bench-host bench-farm bench-parallel \
-	bench-engines bench-tickets perf-gate perf-baseline lint examples \
-	artifacts all
+	bench-engines bench-tickets bench-overload perf-gate perf-baseline \
+	lint examples smoke smoke-wallclock smoke-farm artifacts all
 
 install:
 	pip install -e .
@@ -57,6 +57,13 @@ bench-engines:
 bench-tickets:
 	$(PY_ENV) python benchmarks/bench_ticket_resumption.py
 
+# Capacity-vs-offered-load knee curves under hostile traffic (handshake
+# floods, bursty arrivals), with and without the admission + suite-
+# downgrade policies; writes BENCH_overload.json at the repository root
+# (fully modeled -- deterministic).
+bench-overload:
+	$(PY_ENV) python benchmarks/bench_overload.py
+
 perf-gate:
 	$(PY_ENV) python -m repro.tools.perfgate --check --report perf_gate_report.txt
 
@@ -76,7 +83,18 @@ lint:
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PY_ENV) python $$ex > /dev/null && echo OK; done
 
-artifacts:
+# Host wall-clock smokes (not collected by pytest: the tier-1 gate pins
+# modeled numbers, these intentionally measure the host).  CI runs them
+# via this target; they work locally the same way.
+smoke-wallclock:
+	$(PY_ENV) python tests/smoke/smoke_wallclock.py
+
+smoke-farm:
+	$(PY_ENV) python tests/smoke/smoke_farm.py
+
+smoke: smoke-wallclock smoke-farm
+
+artifacts: bench-overload
 	$(PY_ENV) pytest tests/ 2>&1 | tee test_output.txt
 	$(PY_ENV) pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 

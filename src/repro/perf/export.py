@@ -4,6 +4,10 @@ plain text, Markdown or CSV.
 The benchmarks print fixed-format tables; these exporters serve downstream
 users who want to post-process a profile -- e.g. diff two runs, feed a
 spreadsheet, or embed a report in documentation.
+
+:func:`write_json` -- the canonical deterministic JSON writer every
+``BENCH_*.json`` artifact goes through -- is re-exported here so the
+benchmarks have one import site for "how results leave the process".
 """
 
 from __future__ import annotations
@@ -11,8 +15,14 @@ from __future__ import annotations
 import io
 from typing import List, Optional, Tuple
 
+from .baseline import write_json
 from .profiler import Profiler, RegionNode
 from .report import format_table
+
+__all__ = [
+    "compare_profiles", "functions_csv", "instruction_mix_csv",
+    "modules_markdown", "region_tree_text", "write_json",
+]
 
 
 def region_tree_text(profiler: Profiler, max_depth: int = 4,

@@ -240,7 +240,10 @@ class SslServer(SslConnection):
                  clock: Optional[Callable[[], float]] = None,
                  session_lifetime: Optional[float] = None,
                  offload=None,
-                 ticket_keys: Optional[TicketKeyRing] = None):
+                 ticket_keys: Optional[TicketKeyRing] = None,
+                 suite_policy: Optional[Callable[
+                     [Sequence[int]], Optional[Sequence[CipherSuite]]]]
+                 = None):
         """``cert_chain``: intermediate/root certificates sent after the
         leaf (the paper's server used a single self-signed certificate).
         ``batcher``: a shared :class:`HandshakeBatcher`; when set, the RSA
@@ -256,7 +259,13 @@ class SslServer(SslConnection):
         a :class:`~repro.ssl.ticket.TicketKeyRing`; when set, the server
         mints RFC-5077-style stateless session tickets for clients that
         advertise support and accepts offered tickets for resumption
-        without consulting (or populating) the id cache."""
+        without consulting (or populating) the id cache.
+        ``suite_policy``: selection hook called with the client's offered
+        suite ids at ServerHello time; returning a suite sequence
+        replaces the server's preference order for this handshake
+        (returning ``None`` keeps it), which is how an overload
+        downgrade engine steers selection without reconfiguring the
+        server.  Pure policy -- the hook must not charge cycles."""
         with perf.region("init"):
             super().__init__()
             self._key = private_key
@@ -264,6 +273,7 @@ class SslServer(SslConnection):
             self._chain = tuple(cert_chain)
             self._suites = tuple(suites) if suites else tuple(
                 s for s in ALL_SUITES if s.cipher != "null")
+            self._suite_policy = suite_policy
             self._cache = session_cache
             self._rng = rng if rng is not None else PseudoRandom(b"server")
             self._state = ServerHandshakeState.WAIT_CLIENT_HELLO
@@ -463,7 +473,12 @@ class SslServer(SslConnection):
             self._state = ServerHandshakeState.WAIT_CLIENT_KX
 
     def _choose_suite(self, offered: Sequence[int]) -> CipherSuite:
-        for suite in self._suites:
+        order = self._suites
+        if self._suite_policy is not None:
+            override = self._suite_policy(offered)
+            if override:
+                order = tuple(override)
+        for suite in order:
             if suite.suite_id in offered:
                 return suite
         raise HandshakeFailure("no common cipher suite")

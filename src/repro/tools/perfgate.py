@@ -475,6 +475,92 @@ def _engines_preferential_farm():
     return profiler, extra
 
 
+def _overload_signature(result) -> Tuple[Profiler, Dict[str, Any]]:
+    """Farm signature plus the overload anatomy: every offered/shed/
+    abandoned/downgraded counter, the per-handshake modeled latencies and
+    their p50/p99.  All of it is deterministic and must fold identically
+    on the process-parallel backend."""
+    profiler, extra = _farm_signature(result)
+    extra.update({
+        "offered_connections": result.offered_connections,
+        "shed_queue_full": result.shed_queue_full,
+        "shed_deadline": result.shed_deadline,
+        "requests_shed": result.requests_shed,
+        "peak_queue_depth": result.peak_queue_depth,
+        "queue_wait_rounds_total": result.queue_wait_rounds_total,
+        "connections_downgraded": result.connections_downgraded,
+        "handshakes_abandoned": result.handshakes_abandoned,
+        "requests_abandoned": result.requests_abandoned,
+        "renegotiations_served": result.renegotiations_served,
+        "completed_handshakes": result.completed_handshakes,
+        "handshake_latencies": result.handshake_latencies,
+        "handshake_latency_p50": result.handshake_latency_percentile(50),
+        "handshake_latency_p99": result.handshake_latency_percentile(99),
+    })
+    return profiler, extra
+
+
+@scenario("overload_flash_crowd", "Overload anatomy",
+          "Two-worker shared farm under a flash-crowd ramp with handshake "
+          "floods and renegotiation storms, deadline-shedding admission; "
+          "eligible for the process-parallel backend, so CI re-checks the "
+          "serially recorded signature through the process pool")
+def _overload_flash_crowd():
+    from ..webserver import (
+        AdversarialWorkload, DeadlineShedPolicy, ServerFarm, SHARED,
+    )
+    key, cert = _identity(seed=b"pg-overload")
+    farm = ServerFarm(2, topology=SHARED, key=key, cert=cert, use_crt=True,
+                      admission=DeadlineShedPolicy(max_queue=3,
+                                                   deadline_rounds=4))
+    workload = AdversarialWorkload.fixed(
+        2048, resumption_rate=0.5, seed=b"pg-overload-1", clients=4,
+        mean_gap_rounds=2.0, flash=(3, 6.0), flood_rate=0.25,
+        reneg_rate=0.15)
+    # No explicit ``parallel=``: honors REPRO_PARALLEL.  Every anatomy
+    # counter in the signature is planned parent-side or folded in
+    # worker-index order, so the parallel run must reproduce it exactly.
+    result = farm.run(workload, 14, concurrency_per_worker=2)
+    assert result.shed_queue_full > 0 and result.shed_deadline > 0, \
+        "flash crowd stopped exercising both shedding modes"
+    assert result.handshakes_abandoned > 0, \
+        "flash crowd stopped exercising handshake floods"
+    assert result.renegotiations_served > 0, \
+        "flash crowd stopped exercising renegotiation storms"
+    return _overload_signature(result)
+
+
+@scenario("overload_downgrade_policy", "Overload anatomy",
+          "Two-worker shared farm under a zero-gap burst: drop-tail "
+          "admission plus the cipher-suite downgrade engine steering "
+          "ServerHello toward RC4/MD5 at queue pressure; eligible for "
+          "the process-parallel backend")
+def _overload_downgrade_policy():
+    from ..ssl.ciphersuites import DES_CBC3_SHA, RC4_MD5
+    from ..webserver import (
+        AdversarialWorkload, DropTailPolicy, ServerFarm, SHARED,
+        SuitePolicy,
+    )
+    key, cert = _identity(seed=b"pg-downgrade")
+    policy = SuitePolicy(primary=DES_CBC3_SHA, downgrade=RC4_MD5,
+                         queue_high=3)
+    farm = ServerFarm(2, topology=SHARED, key=key, cert=cert, use_crt=True,
+                      admission=DropTailPolicy(max_queue=6),
+                      suite_policy=policy,
+                      client_suites=(DES_CBC3_SHA, RC4_MD5))
+    workload = AdversarialWorkload.fixed(
+        8192, resumption_rate=0.4, seed=b"pg-downgrade", clients=4,
+        mean_gap_rounds=0.0)
+    result = farm.run(workload, 10, concurrency_per_worker=2)
+    assert result.connections_downgraded > 0, \
+        "burst stopped exercising the suite downgrade engine"
+    assert result.connections_downgraded < result.offered_connections, \
+        "downgrade engaged on every connection -- no pressure contrast"
+    profiler, extra = _overload_signature(result)
+    extra["suite_payoff_ratio"] = round(policy.payoff_ratio(), 6)
+    return profiler, extra
+
+
 # ---------------------------------------------------------------------------
 # Capture / record / check
 # ---------------------------------------------------------------------------

@@ -15,6 +15,12 @@ from .httpd import (
     ApacheWorker, HttpError, HttpRequest, build_request, build_response,
     parse_request, parse_response,
 )
+from .overload import (
+    ABANDON_HELLO, ABANDON_MID_KX, ABANDON_MODES, ADMISSION_POLICIES,
+    AcceptQueue, AdmissionPolicy, AdversarialWorkload, DeadlineShedPolicy,
+    DropTailPolicy, PressureSignal, ResumptionPreferredPolicy, SuitePolicy,
+    suite_cost_per_kb,
+)
 from .parallel import run_parallel
 from .simulator import SimulationResult, WebServerSimulator, run_experiment
 from .workload import Request, RequestWorkload, document_bytes
@@ -30,6 +36,11 @@ __all__ = [
     "WorkerStats", "run_parallel",
     "ApacheWorker", "HttpError", "HttpRequest", "build_request",
     "build_response", "parse_request", "parse_response",
+    "ABANDON_HELLO", "ABANDON_MID_KX", "ABANDON_MODES",
+    "ADMISSION_POLICIES", "AcceptQueue", "AdmissionPolicy",
+    "AdversarialWorkload", "DeadlineShedPolicy", "DropTailPolicy",
+    "PressureSignal", "ResumptionPreferredPolicy", "SuitePolicy",
+    "suite_cost_per_kb",
     "SimulationResult", "WebServerSimulator", "run_experiment",
     "Request", "RequestWorkload", "document_bytes",
 ]

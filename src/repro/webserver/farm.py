@@ -34,8 +34,8 @@ therefore mirrors ``WebServerSimulator._run_concurrent`` exactly
 
 from __future__ import annotations
 
+import math
 import time
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -51,6 +51,7 @@ from ..ssl.x509 import Certificate
 from .capacity import farm_requests_per_second
 from .clientpool import ClientPool
 from .costs import DEFAULT_COSTS, SystemCostModel
+from .overload import AcceptQueue, AdmissionPolicy, PressureSignal, SuitePolicy
 from .simulator import (
     SimulationResult, WebServerSimulator, _Transaction, _admit_transaction,
 )
@@ -252,6 +253,63 @@ class FarmResult:
     def tickets_renewed(self) -> int:
         return sum(r.tickets_renewed for r in self.results)
 
+    # -- overload anatomy ---------------------------------------------------
+    #: Connections the workload offered (arrived at the accept queue).
+    offered_connections: int = 0
+    #: Connections the admission policy shed at a full backlog.
+    shed_queue_full: int = 0
+    #: Connections the admission policy shed past their queue deadline.
+    shed_deadline: int = 0
+    #: Requests lost with the shed connections.
+    requests_shed: int = 0
+    #: Deepest the accept queue ever got.
+    peak_queue_depth: int = 0
+    #: Total scheduling rounds admitted connections spent queued.
+    queue_wait_rounds_total: int = 0
+    #: Connections whose ServerHello the :class:`~repro.webserver.
+    #: overload.SuitePolicy` steered to the downgrade suite.
+    connections_downgraded: int = 0
+
+    @property
+    def connections_shed(self) -> int:
+        return self.shed_queue_full + self.shed_deadline
+
+    @property
+    def handshakes_abandoned(self) -> int:
+        return sum(r.handshakes_abandoned for r in self.results)
+
+    @property
+    def requests_abandoned(self) -> int:
+        return sum(r.requests_abandoned for r in self.results)
+
+    @property
+    def renegotiations_served(self) -> int:
+        return sum(r.renegotiations_served for r in self.results)
+
+    @property
+    def handshake_latencies(self) -> List[float]:
+        """Every completed handshake's modeled latency, concatenated in
+        worker-index order (each worker's list is in completion order on
+        its own clock) -- deterministic across backends."""
+        return [lat for r in self.results for lat in r.handshake_latencies]
+
+    @property
+    def completed_handshakes(self) -> int:
+        """Handshakes that reached Finished (full, resumed and
+        renegotiation handshakes alike) -- the numerator of the overload
+        knee curves, which abandoned floods never enter."""
+        return sum(len(r.handshake_latencies) for r in self.results)
+
+    def handshake_latency_percentile(self, pct: float) -> float:
+        """Nearest-rank percentile of the modeled handshake latency, in
+        virtual seconds (``pct`` in (0, 100]); 0.0 with no completed
+        handshakes."""
+        latencies = sorted(self.handshake_latencies)
+        if not latencies:
+            return 0.0
+        rank = max(1, math.ceil(pct / 100.0 * len(latencies)))
+        return latencies[min(rank, len(latencies)) - 1]
+
     def offload_summary(self) -> Optional[Dict]:
         """Farm-wide crypto-engine offload stats; ``None`` when the run
         had no engine pool.
@@ -442,7 +500,10 @@ class ServerFarm:
                  session_cache_capacity: int = 1024,
                  engines: Optional[OffloadConfig] = None,
                  tickets: Optional[TicketKeyRing] = None,
-                 client_pool_capacity: int = 64):
+                 client_pool_capacity: int = 64,
+                 admission: Optional[AdmissionPolicy] = None,
+                 suite_policy: Optional[SuitePolicy] = None,
+                 client_suites: Optional[Sequence[CipherSuite]] = None):
         """``key_set`` enables batch RSA: the member keys are partitioned
         round-robin into one disjoint sub-keyset per worker (see
         :meth:`BatchRsaKeySet.partition`), so every worker's batch queue
@@ -459,7 +520,18 @@ class ServerFarm:
         shared by every worker (the ring is pure configuration -- all
         workers derive identical keys), enabling stateless resumption
         under every topology; ``client_pool_capacity`` bounds the
-        farm-global per-client session pool."""
+        farm-global per-client session pool.
+
+        ``admission`` installs an :class:`~repro.webserver.overload.
+        AdmissionPolicy` in front of the load balancer (``None`` keeps
+        the unbounded pre-overload accept queue); ``suite_policy``
+        installs a :class:`~repro.webserver.overload.SuitePolicy` that
+        steers ServerHello suite selection under accept-queue pressure;
+        ``client_suites`` is the ClientHello offer list every simulated
+        client sends (default: just ``suite`` -- offer the downgrade
+        suite too, or the policy has nothing to steer to).  All three
+        are evaluated in the parent on both execution backends, so
+        their decisions and counters are backend-invariant."""
         if nworkers < 1:
             raise ValueError("need at least one worker")
         if topology not in TOPOLOGIES:
@@ -503,12 +575,17 @@ class ServerFarm:
                                else SessionCache(session_cache_capacity)),
                 session_lifetime=session_lifetime,
                 engines=engines, tickets=tickets,
-                client_pool_capacity=client_pool_capacity)
+                client_pool_capacity=client_pool_capacity,
+                client_suites=client_suites)
             # Clients resume against whatever worker they land on next:
             # the client-session pool is farm-global.
             sim._client_sessions = self._pool
             self._sims.append(sim)
         self._shared_cache = shared_cache
+        self.admission = admission
+        self.suite_policy = suite_policy
+        self._accept_queue: Optional[AcceptQueue] = None
+        self._downgraded = 0
         self._states: List[_WorkerState] = []
         # When the process-parallel backend runs, worker states live in
         # child processes; the parent tracks in-flight counts here so the
@@ -558,19 +635,47 @@ class ServerFarm:
                  if offered is not None else None)
         return worker, offered, owner
 
-    def _admit(self, pending: "deque[List[Request]]", txn_id: int) -> int:
+    def _suites_for_admission(self, queue: AcceptQueue,
+                              ) -> Optional[Tuple[CipherSuite, ...]]:
+        """Consult the suite policy for the connection being admitted.
+
+        Runs in the parent on both backends -- once per successful
+        admission plan, in admission order -- so the pressure reading
+        (and therefore the downgrade decision and its counter) is
+        backend-invariant.  ``None`` means no policy: the worker's
+        default single-suite preference applies.
+        """
+        if self.suite_policy is None:
+            return None
+        pressure = PressureSignal(
+            queue_depth=queue.depth(),
+            active=sum(self._active_of(w) for w in range(self.nworkers)),
+            slots=self.nworkers * self._concurrency,
+            round=queue.round)
+        order = self.suite_policy.suites_for(pressure)
+        if order[0].suite_id != self.suite_policy.primary.suite_id:
+            self._downgraded += 1
+        return order
+
+    def _admit(self, queue: AcceptQueue, txn_id: int) -> int:
         """Serial-path admission: drain the accept queue through the
         balancing policy, building transactions in place.  Returns the
         next transaction id."""
-        while pending:
-            plan = self._admission_plan(pending[0])
+        while True:
+            group = queue.head()
+            if group is None:
+                break
+            plan = self._admission_plan(group)
             if plan is None:
                 break
             worker, _, owner = plan
+            suites = self._suites_for_admission(queue)
+            queue.pop()
             state = self._states[worker]
             self._pool.current_worker = worker
-            txn = _admit_transaction(state.sim, txn_id, pending.popleft(),
-                                     state.profiler, state.result)
+            txn = _admit_transaction(state.sim, txn_id, group,
+                                     state.profiler, state.result,
+                                     server_suites=suites)
             txn_id += 1
             if txn is None:
                 continue
@@ -632,27 +737,30 @@ class ServerFarm:
         self._states = [_WorkerState(i, sim)
                         for i, sim in enumerate(self._sims)]
         self._parallel_active = None
-        pending = deque(groups)
+        queue = AcceptQueue(groups, self.admission)
+        self._accept_queue = queue
+        self._downgraded = 0
 
         requested = int(parallel or 0)
         nprocs = min(requested, self.nworkers)
         if nprocs > 1:
             from .parallel import run_parallel
-            result = run_parallel(self, pending, nprocs)
+            result = run_parallel(self, queue, nprocs)
         else:
-            result = self._run_serial(pending)
+            result = self._run_serial(queue)
         result.parallel_requested = requested
         result.parallel_effective = (
             nprocs if result.backend.startswith("parallel") else 1)
         result.wall_seconds = time.perf_counter() - start
         return result
 
-    def _run_serial(self, pending: "deque[List[Request]]") -> FarmResult:
+    def _run_serial(self, queue: AcceptQueue) -> FarmResult:
         states = self._states
         txn_id = 0
         cross_resumed = 0
-        while pending or any(s.active for s in states):
-            txn_id = self._admit(pending, txn_id)
+        while queue or any(s.active for s in states):
+            queue.begin_round()
+            txn_id = self._admit(queue, txn_id)
             for state in states:
                 cross_resumed += _run_worker_round(state, self._pool)
         return self._assemble_result(cross_resumed, backend="serial")
@@ -676,10 +784,20 @@ class ServerFarm:
             for i, sim in enumerate(self._sims):
                 shard_stats.append({"shard": i, "workers": [i],
                                     **sim._session_cache.stats()})
-        return FarmResult(
+        result = FarmResult(
             nworkers=self.nworkers, topology=self.topology,
             policy=self.policy.name,
             results=[s.result for s in self._states],
             shard_stats=shard_stats,
             cross_worker_resumptions=cross_resumed,
             backend=backend)
+        queue = self._accept_queue
+        if queue is not None:
+            result.offered_connections = queue.offered_connections
+            result.shed_queue_full = queue.shed_queue_full
+            result.shed_deadline = queue.shed_deadline
+            result.requests_shed = queue.requests_shed
+            result.peak_queue_depth = queue.peak_queue_depth
+            result.queue_wait_rounds_total = queue.queue_wait_rounds_total
+        result.connections_downgraded = self._downgraded
+        return result

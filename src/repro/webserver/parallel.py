@@ -38,7 +38,8 @@ Protocol (one duplex pipe per child process)::
 
     parent -> child   ("init",   {fastpath, err_tables, states})
     parent -> child   ("round",  {worker: [(txn_id, group, offered,
-                                            owner, cache_entry), ...]})
+                                            owner, cache_entry,
+                                            server_suites), ...]})
     child  -> parent  ("report", {worker: (minted, cross, active,
                                            cache_ops)})
     parent -> child   ("finish",)
@@ -108,12 +109,12 @@ from __future__ import annotations
 import multiprocessing
 import os
 import traceback
-from collections import deque
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from .. import runtime
 from ..crypto import rsa
 from ..ssl.session import CacheOp, SslSession
+from .overload import AcceptQueue
 from .simulator import _admit_transaction
 from .workload import Request
 
@@ -254,15 +255,16 @@ def _worker_main(conn) -> None:
                 # round -- the serial phase order.
                 for state in states:
                     mirror = state.sim._client_sessions
-                    for (txn_id, group, offered, owner,
-                         cache_entry) in admissions.get(state.index, ()):
+                    for (txn_id, group, offered, owner, cache_entry,
+                         suites) in admissions.get(state.index, ()):
                         if cache_entry is not None:
                             cache_mirror.entries[
                                 cache_entry.session_id] = cache_entry
                         mirror.offered = offered
                         txn = _admit_transaction(state.sim, txn_id, group,
                                                  state.profiler,
-                                                 state.result)
+                                                 state.result,
+                                                 server_suites=suites)
                         if txn is not None:
                             txn._farm_offered_owner = owner
                             state.active.append(txn)
@@ -334,20 +336,25 @@ def _join_worker(proc, workers: List[int], timeout: float = 10.0) -> None:
             f"exited with code {proc.exitcode}")
 
 
-def run_parallel(farm: "ServerFarm", pending: "deque[List[Request]]",
-                 nprocs: int) -> "FarmResult":
+def run_parallel(farm: "ServerFarm", queue, nprocs: int) -> "FarmResult":
     """Drive ``farm``'s scheduling loop with worker states distributed
     over ``nprocs`` child processes.  Called by :meth:`ServerFarm.run`
     (never directly); ``farm._states`` is already initialised and the
-    workload already grouped into ``pending``."""
+    workload already grouped into the :class:`~repro.webserver.overload.
+    AcceptQueue` (a plain deque/list of groups is also accepted for
+    back-compat and wrapped in a policy-free queue)."""
     from .farm import _run_worker_round
+
+    if not isinstance(queue, AcceptQueue):
+        queue = AcceptQueue(list(queue), None)
+        farm._accept_queue = queue
 
     states = farm._states
     pool = farm._pool
     txn_id = 0
     cross = 0
 
-    if not pending and not any(s.active for s in states):
+    if not queue and not any(s.active for s in states):
         # Empty workload: don't spawn a pool to do nothing.
         return farm._assemble_result(cross, backend="serial")
 
@@ -393,22 +400,27 @@ def run_parallel(farm: "ServerFarm", pending: "deque[List[Request]]",
         farm._parallel_active = active
 
         # -- lockstep rounds ------------------------------------------------
-        while pending or any(active):
+        while queue or any(active):
+            queue.begin_round()
             admissions: List[Dict[int, list]] = [{} for _ in range(nprocs)]
-            while pending:
-                plan = farm._admission_plan(pending[0])
+            while True:
+                group = queue.head()
+                if group is None:
+                    break
+                plan = farm._admission_plan(group)
                 if plan is None:
                     break
                 worker, offered, owner = plan
+                suites = farm._suites_for_admission(queue)
                 # The round-boundary cache view: the only session this
                 # admission's handshake can look up is the one it offers,
                 # so the authoritative entry (or its absence) rides along.
                 cache_entry = (shared_cache.peek(offered.session_id)
                                if shared_cache is not None
                                and offered is not None else None)
-                group = pending.popleft()
+                queue.pop()
                 admissions[proc_of[worker]].setdefault(worker, []).append(
-                    (txn_id, group, offered, owner, cache_entry))
+                    (txn_id, group, offered, owner, cache_entry, suites))
                 active[worker] += 1
                 txn_id += 1
             for p in range(nprocs):

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import perf
 from ..crypto.batch_rsa import BatchRsaKeySet
@@ -64,6 +64,23 @@ class SimulationResult:
     tickets_accepted: int = 0
     tickets_rejected: int = 0
     tickets_renewed: int = 0
+    #: Overload anatomy: handshake-flood connections that abandoned
+    #: after the ClientHello or mid-key-exchange (their server-side work
+    #: -- including the RSA decrypt in the mid-kx case -- stays charged
+    #: to the profile), and the requests they took with them.  Abandons
+    #: are deliberate client behaviour, not :attr:`failures`.
+    handshakes_abandoned: int = 0
+    requests_abandoned: int = 0
+    #: Full renegotiation handshakes served on established connections
+    #: (renegotiation storms), folded from every server endpoint.
+    renegotiations_served: int = 0
+    #: Modeled latency of every *completed* handshake (including resumed
+    #: and renegotiation handshakes), in virtual seconds on the server's
+    #: clock, in completion order: the time from transaction admission
+    #: (or renegotiation start) to Finished, including modeled-CPU
+    #: queueing behind concurrent transactions.  Deterministic; the p50
+    #: and p99 of the overload scenarios are computed from it.
+    handshake_latencies: List[float] = field(default_factory=list)
 
     def module_shares(self) -> Dict[str, float]:
         """Module -> share of total cycles (Table 1)."""
@@ -103,6 +120,19 @@ class SimulationResult:
                 "system": max(0.0, total - handshake - bulk)}
 
 
+def _first_record(data: bytes) -> bytes:
+    """The first SSL record of a flight, cut at the record boundary.
+
+    A mid-key-exchange abandon must deliver the ClientKeyExchange (so
+    the server burns the RSA decrypt) but *not* the CCS/Finished records
+    the client emits in the same flight; the 5-byte record header
+    (type, version, 16-bit length) gives the cut point.
+    """
+    if len(data) < 5:
+        return data
+    return data[:5 + int.from_bytes(data[3:5], "big")]
+
+
 def _fold_ticket_counters(result: SimulationResult, server: SslServer) -> None:
     result.tickets_minted += server.tickets_minted
     result.tickets_accepted += server.tickets_accepted
@@ -113,7 +143,9 @@ def _fold_ticket_counters(result: SimulationResult, server: SslServer) -> None:
 def _admit_transaction(sim: "WebServerSimulator", txn_id: int,
                        requests: List[Request],
                        server_prof: perf.Profiler,
-                       result: SimulationResult) -> Optional["_Transaction"]:
+                       result: SimulationResult,
+                       server_suites: Optional[Tuple[CipherSuite, ...]]
+                       = None) -> Optional["_Transaction"]:
     """Construct a transaction, folding setup failures into the result.
 
     ``_Transaction.__init__`` runs real handshake openings (server setup,
@@ -124,7 +156,8 @@ def _admit_transaction(sim: "WebServerSimulator", txn_id: int,
     is returned so the caller simply does not schedule it.
     """
     try:
-        return _Transaction(sim, txn_id, requests, server_prof, result)
+        return _Transaction(sim, txn_id, requests, server_prof, result,
+                            server_suites=server_suites)
     except SslError:
         result.failures += len(requests)
         return None
@@ -146,7 +179,8 @@ class _Transaction:
 
     def __init__(self, sim: "WebServerSimulator", txn_id: int,
                  requests: List[Request], server_prof: perf.Profiler,
-                 result: SimulationResult):
+                 result: SimulationResult,
+                 server_suites: Optional[Tuple[CipherSuite, ...]] = None):
         self._sim = sim
         self._requests = deque(requests)
         self._nrequests = len(requests)
@@ -154,6 +188,15 @@ class _Transaction:
         self._result = result
         self._client_prof = perf.Profiler()  # client machine: discarded
         self.phase = _Transaction.HANDSHAKE
+        # Handshake latency starts at admission, before the kernel's
+        # connection-setup charges: time already on this worker's clock
+        # is queueing the new connection experiences.
+        self._hs_start = server_prof.seconds()
+        # Adversarial behaviour is a connection-level property, read off
+        # the group's first request.
+        self._abandon = requests[0].abandon
+        self._abandon_step = 0
+        self._renegs_left = requests[0].renegotiations
         tag = str(txn_id).encode()
 
         total_kb = sum(r.size_bytes for r in requests) / 1024.0
@@ -169,7 +212,9 @@ class _Transaction:
         key, cert = sim._next_server_identity()
         with perf.activate(server_prof):
             self.server = SslServer(
-                key, cert, suites=(sim._suite,),
+                key, cert,
+                suites=(server_suites if server_suites is not None
+                        else (sim._suite,)),
                 session_cache=sim._session_cache,
                 rng=PseudoRandom(sim._seed + b"-s" + tag),
                 batcher=sim._batcher,
@@ -178,7 +223,8 @@ class _Transaction:
                 offload=sim._engines,
                 ticket_keys=sim._tickets)
         with perf.activate(self._client_prof):
-            self.client = SslClient(suites=(sim._suite,), session=resume,
+            self.client = SslClient(suites=sim._client_suites,
+                                    session=resume,
                                     version=sim._version,
                                     rng=PseudoRandom(sim._seed + b"-c" + tag),
                                     session_tickets=sim._tickets is not None)
@@ -205,6 +251,7 @@ class _Transaction:
             self._result.wire_bytes += (server.stats.bytes_sent
                                         + server.stats.bytes_received)
             _fold_ticket_counters(self._result, server)
+            self._result.renegotiations_served += server.renegotiations
 
     def step(self) -> bool:
         """Advance one increment; returns True if any progress was made."""
@@ -234,16 +281,73 @@ class _Transaction:
         return bool(c_out or s_out)
 
     def _step_handshake(self) -> bool:
+        if self._abandon is not None:
+            return self._step_abandon()
         progressed = self._exchange()
         if self.server.handshake_complete and self.client.handshake_complete:
             self.phase = _Transaction.REQUESTS
+            self._result.handshake_latencies.append(
+                self._server_prof.seconds() - self._hs_start)
             if self.server.resumed:
                 self._result.resumed_handshakes += 1
             return True
         return progressed
 
+    def _step_abandon(self) -> bool:
+        """Handshake flood: the client walks away mid-handshake.
+
+        ``"hello"`` delivers the ClientHello and lets the server build
+        (and queue on the wire) its full response flight -- certificate
+        serialization and all -- before the socket dies.  ``"mid_kx"``
+        additionally feeds that flight to the client and delivers *only
+        the first record* of the client's second flight -- the
+        ClientKeyExchange, cut at the record boundary -- so the server
+        pays the Table 2 RSA decrypt but never sees CCS/Finished.  The
+        burned work stays charged to the server profile; nothing is
+        stored in the session cache or the client pool.
+        """
+        self._abandon_step += 1
+        if self._abandon_step == 1:
+            with perf.activate(self._client_prof):
+                c_out = self.client.pending_output()
+            with perf.activate(self._server_prof):
+                self.server.receive(c_out)
+                if self._abandon == "hello":
+                    # The response flight hits the wire before the
+                    # server notices the peer is gone.
+                    self.server.pending_output()
+            if self._abandon == "hello":
+                return self._abandon_now()
+            return True
+        with perf.activate(self._server_prof):
+            s_out = self.server.pending_output()
+        with perf.activate(self._client_prof):
+            self.client.receive(s_out)
+            c_out = self.client.pending_output()
+        with perf.activate(self._server_prof):
+            self.server.receive(_first_record(c_out))
+        return self._abandon_now()
+
+    def _abandon_now(self) -> bool:
+        self._result.handshakes_abandoned += 1
+        self._result.requests_abandoned += len(self._requests)
+        self._requests.clear()
+        self._account_wire()
+        self.phase = _Transaction.DONE
+        return True
+
     def _step_request(self) -> bool:
         if not self._requests:
+            if self._renegs_left > 0:
+                # Renegotiation storm: force another full handshake on
+                # the established connection (no session offered, so the
+                # server burns a fresh RSA decrypt each time).
+                self._renegs_left -= 1
+                self._hs_start = self._server_prof.seconds()
+                with perf.activate(self._client_prof):
+                    self.client.renegotiate()
+                self.phase = _Transaction.HANDSHAKE
+                return True
             self.phase = _Transaction.CLOSING
             return True
         request = self._requests[0]
@@ -298,7 +402,8 @@ class WebServerSimulator:
                  session_lifetime: float = 300.0,
                  engines: Optional[OffloadConfig] = None,
                  tickets: Optional[TicketKeyRing] = None,
-                 client_pool_capacity: int = 64):
+                 client_pool_capacity: int = 64,
+                 client_suites: Optional[Sequence[CipherSuite]] = None):
         """``use_crt`` defaults to False: the paper's handshake
         measurements (Tables 1-3) are consistent with a non-CRT private
         operation; see DESIGN.md.  ``version`` is the protocol the
@@ -321,13 +426,19 @@ class WebServerSimulator:
         ``client_pool_capacity`` bounds the LRU
         :class:`~repro.webserver.clientpool.ClientPool` of per-client
         resumable sessions -- total retained client state is O(capacity)
-        no matter how many distinct clients the workload draws."""
+        no matter how many distinct clients the workload draws.
+        ``client_suites`` is the ClientHello offer list (default: just
+        ``suite``); offering more than one suite is what gives a
+        server-side :class:`~repro.webserver.overload.SuitePolicy` a
+        cheaper suite to downgrade to."""
         if key is None or cert is None:
             key, cert = make_server_identity(1024, seed=seed + b"-identity")
         key.use_crt = use_crt
         self._key = key
         self._cert = cert
         self._suite = suite
+        self._client_suites = (tuple(client_suites) if client_suites
+                               else (suite,))
         self._costs = costs
         self._version = version
         self._seed = seed
@@ -355,6 +466,7 @@ class WebServerSimulator:
                         result: SimulationResult,
                         tag: bytes = b"") -> None:
         client_prof = perf.Profiler()  # client machine: separate, discarded
+        hs_start = server_prof.seconds()
         total_kb = sum(r.size_bytes for r in requests) / 1024.0
 
         # Kernel TCP connection setup + per-byte processing (vmlinux).
@@ -375,7 +487,7 @@ class WebServerSimulator:
                                offload=self._engines,
                                ticket_keys=self._tickets)
         with perf.activate(client_prof):
-            client = SslClient(suites=(self._suite,), session=resume,
+            client = SslClient(suites=self._client_suites, session=resume,
                                version=self._version,
                                rng=PseudoRandom(self._seed + b"-c" + tag),
                                session_tickets=self._tickets is not None)
@@ -386,7 +498,9 @@ class WebServerSimulator:
             result.wire_bytes += (server.stats.bytes_sent
                                   + server.stats.bytes_received)
             _fold_ticket_counters(result, server)
+            result.renegotiations_served += server.renegotiations
             return
+        result.handshake_latencies.append(server_prof.seconds() - hs_start)
         if server.resumed:
             result.resumed_handshakes += 1
 
@@ -420,6 +534,7 @@ class WebServerSimulator:
         result.wire_bytes += (server.stats.bytes_sent
                               + server.stats.bytes_received)
         _fold_ticket_counters(result, server)
+        result.renegotiations_served += server.renegotiations
 
         self._client_sessions.store(requests[0].client_id, client.session)
 
@@ -458,7 +573,12 @@ class WebServerSimulator:
                 batch = []
         if batch:
             groups.append(batch)
-        if concurrency > 1 or self._batcher is not None:
+        # Adversarial behaviours (abandons, renegotiation storms) live
+        # in the _Transaction state machine, so such groups take the
+        # concurrent path even at concurrency 1.
+        adversarial = any(r.abandon is not None or r.renegotiations
+                          for g in groups for r in g)
+        if concurrency > 1 or self._batcher is not None or adversarial:
             self._run_concurrent(groups, server_prof, result, concurrency)
         else:
             # Per-connection rng tags, exactly like the concurrent path's

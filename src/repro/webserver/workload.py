@@ -27,12 +27,31 @@ _DRAW_SPAN = 1_000_000
 
 @dataclass(frozen=True)
 class Request:
-    """One HTTP request in the stream."""
+    """One HTTP request in the stream.
+
+    The three trailing fields are the adversarial-traffic annotations the
+    overload workloads (:mod:`repro.webserver.overload`) stamp on their
+    streams; plain workloads leave them at their defaults, which keeps
+    every pre-overload request stream -- and therefore every committed
+    baseline signature -- byte-identical.
+    """
 
     path: str
     size_bytes: int
     resumable: bool = False  # client will offer its cached session
     client_id: Optional[int] = None  # population identity; None = anonymous
+    #: Scheduling round this connection arrives in (farm accept-queue
+    #: pacing; 0 = offered immediately, the classic as-fast-as-possible
+    #: client).  Only the first request of a connection group is read.
+    arrival_round: int = 0
+    #: Handshake-flood behaviour: ``None`` completes normally,
+    #: ``"hello"`` abandons after the ClientHello, ``"mid_kx"`` abandons
+    #: after delivering the ClientKeyExchange (the server burns the RSA
+    #: decrypt; the client never finishes).
+    abandon: Optional[str] = None
+    #: Renegotiation storm: full handshakes the client forces on the
+    #: established connection after its requests complete.
+    renegotiations: int = 0
 
 
 def document_bytes(path: str, size: int) -> bytes:

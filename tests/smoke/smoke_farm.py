@@ -1,0 +1,40 @@
+"""Farm smoke: a small end-to-end sharded-farm run under a wall-clock
+budget.
+
+Two workers, shared session cache, a handful of requests.  Catches farm
+scheduling deadlocks -- a stuck admission or batch queue would blow the
+budget -- without the cost of the full bench-farm sweep.
+
+Run via ``make smoke-farm`` (CI) or directly::
+
+    PYTHONPATH=src python tests/smoke/smoke_farm.py
+
+Not collected by pytest (the tier-1 gate pins modeled numbers; this one
+intentionally measures the host) -- it is a plain script with asserts.
+"""
+
+import time
+
+from repro.ssl.loopback import make_server_identity
+from repro.webserver import RequestWorkload, ServerFarm, SHARED
+
+
+def main() -> None:
+    key, cert = make_server_identity(512, seed=b"farm-smoke")
+    farm = ServerFarm(2, topology=SHARED, key=key, cert=cert,
+                      use_crt=True)
+    workload = RequestWorkload.fixed(2048, resumption_rate=0.5)
+    t0 = time.perf_counter()
+    result = farm.run(workload, 8, concurrency_per_worker=2)
+    elapsed = time.perf_counter() - t0
+    print(f"farm smoke: {result.requests_completed} completed, "
+          f"{result.resumed_handshakes} resumed "
+          f"({result.cross_worker_resumptions} cross-worker), "
+          f"{result.capacity_rps():.0f} rps in {elapsed:.2f}s")
+    assert result.requests_completed == 8, result
+    assert result.failures == 0, result
+    assert elapsed < 60.0, f"farm smoke too slow: {elapsed:.1f}s"
+
+
+if __name__ == "__main__":
+    main()

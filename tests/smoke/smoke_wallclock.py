@@ -1,0 +1,49 @@
+"""Wall-clock smoke: the fast path must stay interactive.
+
+The fast path exists to keep the simulator usable from a terminal; this
+script holds a coarse host wall-clock budget on a full-handshake
+loopback session so a regression that silently disables a fast backend
+fails fast.  The absolute bound allows slow shared CI runners; the
+fast-vs-faithful ratio catches a disabled backend regardless of machine
+speed.
+
+Run via ``make smoke-wallclock`` (CI) or directly::
+
+    PYTHONPATH=src python tests/smoke/smoke_wallclock.py
+
+Not collected by pytest (the tier-1 gate pins modeled numbers; this one
+intentionally measures the host) -- it is a plain script with asserts.
+"""
+
+import time
+
+from repro import runtime
+from repro.ssl.loopback import make_server_identity, run_session
+
+
+def best_of(key, cert, n: int) -> float:
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        run_session(b"", key=key, cert=cert)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main() -> None:
+    key, cert = make_server_identity()
+    run_session(b"", key=key, cert=cert)  # warm caches
+    fast = best_of(key, cert, 5)
+    with runtime.fastpath(False):
+        faithful = best_of(key, cert, 2)
+    print(f"handshake: fast {fast * 1e3:.1f} ms, "
+          f"faithful {faithful * 1e3:.1f} ms "
+          f"({faithful / fast:.1f}x)")
+    # ~40 ms / ~250 ms on a dev box.
+    assert fast < 2.5, f"fast-path handshake too slow: {fast:.2f}s"
+    assert faithful / fast > 2.5, (
+        f"fast path no longer faster: {faithful / fast:.2f}x")
+
+
+if __name__ == "__main__":
+    main()
