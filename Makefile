@@ -6,8 +6,9 @@
 PY_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
 .PHONY: install test check bench bench-host bench-farm bench-parallel \
-	bench-engines bench-tickets bench-overload perf-gate perf-baseline \
-	lint examples smoke smoke-wallclock smoke-farm artifacts all
+	bench-engines bench-tickets bench-overload bench-events perf-gate \
+	perf-baseline lint examples smoke smoke-wallclock smoke-farm \
+	artifacts all
 
 install:
 	pip install -e .
@@ -64,6 +65,13 @@ bench-tickets:
 bench-overload:
 	$(PY_ENV) python benchmarks/bench_overload.py
 
+# Discrete-event scheduler core vs the legacy scan loop: rounds-scanned
+# and transactions-touched reductions on sparse/dense Pareto arrivals at
+# bit-identical signatures, plus the flat streaming-admission memory
+# curve; writes BENCH_event_core.json at the repository root.
+bench-events:
+	$(PY_ENV) python benchmarks/bench_event_core.py
+
 perf-gate:
 	$(PY_ENV) python -m repro.tools.perfgate --check --report perf_gate_report.txt
 
@@ -94,7 +102,7 @@ smoke-farm:
 
 smoke: smoke-wallclock smoke-farm
 
-artifacts: bench-overload
+artifacts: bench-overload bench-events
 	$(PY_ENV) pytest tests/ 2>&1 | tee test_output.txt
 	$(PY_ENV) pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 

@@ -57,7 +57,7 @@ RECORD_CALL = mix(movl=40, movb=10, addl=8, cmpl=10, jnz=10, shll=2,
                   shrl=2, pushl=4, popl=4, call=2, ret=2)
 
 
-@dataclass
+@dataclass(slots=True)
 class KeyMaterial:
     """Per-direction secrets cut from the key block (step 6a)."""
 

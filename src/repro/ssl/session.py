@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class SslSession:
     """Negotiated parameters kept for resumption.
 

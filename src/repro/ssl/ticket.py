@@ -72,7 +72,7 @@ TICKET_PROC = mix(movl=2_000, movb=400, cmpl=350, jnz=300, addl=150,
                   pushl=60, popl=60, call=40, ret=40)
 
 
-@dataclass
+@dataclass(slots=True)
 class TicketState:
     """The resumption state recovered from a decrypted ticket."""
 

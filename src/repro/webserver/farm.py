@@ -51,11 +51,12 @@ from ..ssl.x509 import Certificate
 from .capacity import farm_requests_per_second
 from .clientpool import ClientPool
 from .costs import DEFAULT_COSTS, SystemCostModel
+from .events import TxnScheduler
 from .overload import AcceptQueue, AdmissionPolicy, PressureSignal, SuitePolicy
 from .simulator import (
     SimulationResult, WebServerSimulator, _Transaction, _admit_transaction,
 )
-from .workload import Request, RequestWorkload
+from .workload import Request, RequestWorkload, connection_groups
 
 PARTITIONED = "partitioned"
 SHARED = "shared"
@@ -421,57 +422,78 @@ class FarmResult:
 class _WorkerState:
     """Run-time bookkeeping for one worker replica."""
 
-    __slots__ = ("index", "sim", "profiler", "result", "active", "stalled")
+    __slots__ = ("index", "sim", "profiler", "result", "sched")
 
-    def __init__(self, index: int, sim: WebServerSimulator):
+    def __init__(self, index: int, sim: WebServerSimulator,
+                 events: bool = True):
         self.index = index
         self.sim = sim
         self.profiler = perf.Profiler()
         self.result = SimulationResult(profiler=self.profiler)
-        self.active: List[_Transaction] = []
-        self.stalled = 0
+        #: The worker's transaction scheduler: live set, event heap,
+        #: stall counter (the old ``active`` list + ``stalled`` int).
+        self.sched = TxnScheduler(sim._batcher, events=events)
 
 
-def _run_worker_round(state: _WorkerState, pool: ClientPool) -> int:
-    """One scheduling round of one worker: step every in-flight
-    transaction, retire done ones, tick/flush the batch clock, track
-    stalls.  Returns the number of cross-worker resumptions retired this
-    round.
+def _run_worker_round(state: _WorkerState, pool: ClientPool,
+                      round_no: int, ticks: int = 1) -> int:
+    """One scheduling round of one worker: step this round's runnable
+    transactions, retire done ones, tick/flush the batch clock, track
+    stalls.  ``ticks`` is the virtual-clock advance since the worker's
+    last executed round (> 1 after skipped idle rounds).  Returns the
+    number of cross-worker resumptions retired this round.
 
     This is *the* worker inner loop: the serial path calls it in worker
     order inside ``ServerFarm.run`` and the process-parallel backend
     (:mod:`repro.webserver.parallel`) calls it inside each child process.
-    Keeping one shared body is what makes the two backends bit-identical
-    by construction rather than by parallel maintenance.
+    Keeping one shared body -- and computing each worker's next-event
+    round with the same :class:`~repro.webserver.events.TxnScheduler`
+    code on both backends -- is what makes the two backends (and their
+    skip decisions) bit-identical by construction rather than by
+    parallel maintenance.
     """
     pool.current_worker = state.index
     cross = 0
-    progressed = False
-    for txn in list(state.active):
-        if txn.step():
-            progressed = True
-        if txn.done:
-            state.active.remove(txn)
-            owner = txn._farm_offered_owner
-            if (txn.server.resumed and owner is not None
-                    and owner != state.index):
-                cross += 1
-    batcher = state.sim._batcher
-    if batcher is not None:
-        with perf.activate(state.profiler):
-            batcher.tick()
-            if not progressed and len(batcher):
-                batcher.flush()
-                progressed = True
-    if progressed:
-        state.stalled = 0
-        return cross
-    state.stalled += 1
-    if state.stalled > 4:
-        for txn in state.active:
-            txn._fail()
-        state.active.clear()
+
+    def on_done(txn: _Transaction) -> None:
+        nonlocal cross
+        owner = txn._farm_offered_owner
+        if txn.server.resumed and owner is not None and owner != state.index:
+            cross += 1
+
+    state.sched.run_round(round_no, ticks, state.profiler, on_done=on_done)
     return cross
+
+
+def _next_round_target(queue: AcceptQueue,
+                       worker_events: List[Optional[int]],
+                       events: bool) -> int:
+    """The next round the farm loop must execute, given each worker's
+    next-event round (``None`` = no live transactions).  Shared by the
+    serial loop and the process-parallel parent so both backends agree
+    on every skip by construction.
+
+    The candidates, each an upper bound on how far the clock may jump:
+
+    * every worker's own next event (wake, batch flush, straggler fail);
+    * ``round + 1`` while the accept backlog is nonempty -- admission
+      retries, deadline pruning and wait counters are per-round
+      observable there, so no skipping;
+    * the next arrival's release round (never before ``round + 1``).
+
+    With no candidate at all the loop is about to terminate; ``round +
+    1`` keeps the clock sane.  Under ``REPRO_EVENTS=0`` the target is
+    always ``round + 1``: the legacy cadence.
+    """
+    if not events:
+        return queue.round + 1
+    candidates = [ev for ev in worker_events if ev is not None]
+    if queue.depth() > 0:
+        candidates.append(queue.round + 1)
+    arrival = queue.next_arrival_round()
+    if arrival is not None:
+        candidates.append(max(queue.round + 1, arrival))
+    return min(candidates) if candidates else queue.round + 1
 
 
 class ServerFarm:
@@ -596,7 +618,7 @@ class ServerFarm:
     def _active_of(self, worker: int) -> int:
         if self._parallel_active is not None:
             return self._parallel_active[worker]
-        return len(self._states[worker].active)
+        return len(self._states[worker].sched)
 
     def free_slots(self, worker: int) -> bool:
         return self._active_of(worker) < self._concurrency
@@ -680,7 +702,7 @@ class ServerFarm:
             if txn is None:
                 continue
             txn._farm_offered_owner = owner
-            state.active.append(txn)
+            state.sched.add(txn, queue.round)
         return txn_id
 
     # -- the experiment -----------------------------------------------------
@@ -724,17 +746,11 @@ class ServerFarm:
             parallel = runtime.parallel_processes()
         start = time.perf_counter()
         self._concurrency = concurrency_per_worker
-        groups: List[List[Request]] = []
-        batch: List[Request] = []
-        for request in workload.requests(nrequests):
-            batch.append(request)
-            if len(batch) == requests_per_connection:
-                groups.append(batch)
-                batch = []
-        if batch:
-            groups.append(batch)
+        self._events_on = runtime.events_enabled()
+        groups = connection_groups(workload.requests(nrequests),
+                                   requests_per_connection)
 
-        self._states = [_WorkerState(i, sim)
+        self._states = [_WorkerState(i, sim, events=self._events_on)
                         for i, sim in enumerate(self._sims)]
         self._parallel_active = None
         queue = AcceptQueue(groups, self.admission)
@@ -756,18 +772,27 @@ class ServerFarm:
 
     def _run_serial(self, queue: AcceptQueue) -> FarmResult:
         states = self._states
+        events = self._events_on
         txn_id = 0
         cross_resumed = 0
-        while queue or any(s.active for s in states):
-            queue.begin_round()
+        target = 0
+        while queue or any(s.sched for s in states):
+            ticks = target - queue.round
+            queue.begin_round(target)
             txn_id = self._admit(queue, txn_id)
             for state in states:
-                cross_resumed += _run_worker_round(state, self._pool)
+                cross_resumed += _run_worker_round(
+                    state, self._pool, queue.round, ticks)
+            target = _next_round_target(
+                queue,
+                [s.sched.next_event_round(queue.round) for s in states],
+                events)
         return self._assemble_result(cross_resumed, backend="serial")
 
     def _assemble_result(self, cross_resumed: int,
                          backend: str) -> FarmResult:
         for state in self._states:
+            state.result.scheduler = state.sched.stats()
             if state.sim._batcher is not None:
                 state.result.batches = dict(state.sim._batcher.batches)
                 state.result.batched_ops = state.sim._batcher.ops_submitted

@@ -15,7 +15,7 @@ from .costs import SystemCostModel
 from .workload import document_bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class HttpRequest:
     method: str
     path: str

@@ -44,7 +44,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..ssl.ciphersuites import CipherSuite, DEFAULT_SUITE, RC4_MD5
 from .workload import Request, RequestWorkload, _DRAW_SPAN
@@ -118,6 +118,16 @@ class AdversarialWorkload(RequestWorkload):
         return cls([(size_bytes, 1.0)], resumption_rate, seed,
                    clients=clients, **kwargs)
 
+    @property
+    def adversarial(self) -> bool:
+        """Whether this configuration can stamp abandons or
+        renegotiation storms on its stream.  Pure bursty arrivals
+        (``flood_rate == reneg_rate == 0``) are not adversarial in this
+        sense -- every connection still completes normally, exactly the
+        distinction the old ``any()`` scan over the materialized groups
+        drew per stream."""
+        return self._flood_rate > 0.0 or self._reneg_rate > 0.0
+
     def _next_gap(self, at_round: int) -> int:
         """Pareto(alpha=2)-shaped inter-arrival gap, in whole rounds.
 
@@ -187,18 +197,30 @@ class AcceptQueue:
     sequence, which is what keeps every pre-overload baseline signature
     unchanged.
 
+    ``groups`` may be any iterable, a *lazy* one included: the queue
+    holds a single group of lookahead (the next arrival and its
+    normalised release round) and pulls the rest on demand, so a
+    streaming workload never materializes.  ``next_arrival_round`` --
+    the lookahead's release round -- is what lets the event-core farm
+    loop jump the round clock across empty arrival gaps; the companion
+    ``begin_round(to_round=...)`` form lands the clock directly on a
+    target round.  Skipping is only sound while the backlog is empty:
+    policy ``prune`` hooks must be no-ops on an empty queue (true of
+    every shipped policy -- they only inspect queued entries), which the
+    farm guarantees by never jumping past ``round + 1`` at nonzero
+    depth.
+
     The queue lives in the *parent* on the serial and process-parallel
     backends alike (admission is planned parent-side either way), so its
     offered/shed/wait counters fold identically under ``parallel=N``.
     """
 
-    def __init__(self, groups: Sequence[List[Request]],
+    def __init__(self, groups: Iterable[List[Request]],
                  admission: Optional["AdmissionPolicy"] = None):
-        self._arrivals: deque = deque()
-        last = 0
-        for group in groups:
-            last = max(last, group[0].arrival_round)
-            self._arrivals.append((group, last))
+        self._pending = iter(groups)
+        self._release = 0  # running max: releases are non-decreasing
+        self._next: Optional[Tuple[List[Request], int]] = None
+        self._advance()
         self._queue: deque = deque()  # (group, round it was queued)
         self.admission = admission
         self.round = -1  # becomes 0 on the first begin_round()
@@ -208,6 +230,15 @@ class AcceptQueue:
         self.requests_shed = 0
         self.peak_queue_depth = 0
         self.queue_wait_rounds_total = 0
+
+    def _advance(self) -> None:
+        """Pull the next arrival into the one-group lookahead."""
+        group = next(self._pending, None)
+        if group is None:
+            self._next = None
+            return
+        self._release = max(self._release, group[0].arrival_round)
+        self._next = (group, self._release)
 
     # -- bookkeeping the policies call --------------------------------------
     def shed(self, group: List[Request], reason: str) -> None:
@@ -222,19 +253,38 @@ class AcceptQueue:
         return self.shed_queue_full + self.shed_deadline
 
     # -- round structure ----------------------------------------------------
-    def begin_round(self) -> None:
+    def begin_round(self, to_round: Optional[int] = None) -> None:
         """Advance the round clock: prune stale queue entries, then take
-        this round's arrivals through the admission policy."""
-        self.round += 1
+        this round's arrivals through the admission policy.
+
+        ``to_round`` jumps the clock directly to a target round (the
+        event core skipping provably idle rounds); the caller guarantees
+        the skipped rounds were no-ops -- empty backlog, no arrival
+        released in them.  The default advances one round, the legacy
+        cadence.
+        """
+        if to_round is None:
+            self.round += 1
+        else:
+            if to_round <= self.round:
+                raise ValueError("round clock can only move forward")
+            self.round = to_round
         if self.admission is not None:
             self.admission.prune(self)
-        while self._arrivals and self._arrivals[0][1] <= self.round:
-            group, _ = self._arrivals.popleft()
+        while self._next is not None and self._next[1] <= self.round:
+            group, _ = self._next
+            self._advance()
             self.offered_connections += 1
             if self.admission is None or self.admission.admit(self, group):
                 self._queue.append((group, self.round))
         if len(self._queue) > self.peak_queue_depth:
             self.peak_queue_depth = len(self._queue)
+
+    def next_arrival_round(self) -> Optional[int]:
+        """Release round of the next pending arrival (``None`` when the
+        stream is exhausted) -- the arrival-side bound on how far the
+        event core may jump the round clock."""
+        return self._next[1] if self._next is not None else None
 
     # -- the surface the farm's admission loop uses -------------------------
     def depth(self) -> int:
@@ -249,10 +299,7 @@ class AcceptQueue:
         return group
 
     def __bool__(self) -> bool:
-        return bool(self._arrivals or self._queue)
-
-    def __len__(self) -> int:
-        return len(self._arrivals) + len(self._queue)
+        return self._next is not None or bool(self._queue)
 
 
 class AdmissionPolicy:

@@ -39,12 +39,23 @@ Protocol (one duplex pipe per child process)::
     parent -> child   ("init",   {fastpath, err_tables, states})
     parent -> child   ("round",  {worker: [(txn_id, group, offered,
                                             owner, cache_entry,
-                                            server_suites), ...]})
+                                            server_suites), ...]},
+                                 ticks)
     child  -> parent  ("report", {worker: (minted, cross, active,
-                                           cache_ops)})
+                                           cache_ops, next_event)})
     parent -> child   ("finish",)
     child  -> parent  ("done",   [worker states])
     child  -> parent  ("error",  traceback text)   -- any time
+
+``ticks`` is the virtual-round advance since the previous round message
+(> 1 when the event core skipped no-op rounds); each child adds it to
+its private round clock, so parent and children agree on the round
+number without ever shipping it.  ``next_event`` is the worker's
+:meth:`~repro.webserver.events.TxnScheduler.next_event_round` -- computed
+child-side by the same scheduler code the serial loop runs, then folded
+through the same :func:`~repro.webserver.farm._next_round_target`, which
+is what makes the two backends' skip decisions identical by
+construction.
 
 Determinism notes:
 
@@ -245,10 +256,13 @@ def _worker_main(conn) -> None:
         cache = states[0].sim._session_cache
         cache_mirror = cache if isinstance(cache, _SharedCacheMirror) \
             else None
+        round_no = -1  # advanced by each round message's ticks
         while True:
             msg = conn.recv()
             if msg[0] == "round":
                 admissions: Dict[int, list] = msg[1]
+                ticks = msg[2] if len(msg) > 2 else 1
+                round_no += ticks
                 if cache_mirror is not None:
                     cache_mirror.begin_round()
                 # Admission first for every worker, then every worker's
@@ -267,16 +281,18 @@ def _worker_main(conn) -> None:
                                                  server_suites=suites)
                         if txn is not None:
                             txn._farm_offered_owner = owner
-                            state.active.append(txn)
+                            state.sched.add(txn, round_no)
                         mirror.offered = None
                 report = {}
                 for state in states:
                     mirror = state.sim._client_sessions
-                    cross = _run_worker_round(state, mirror)
+                    cross = _run_worker_round(state, mirror, round_no,
+                                              ticks)
                     cache_ops = (cache_mirror.take_ops()
                                  if cache_mirror is not None else [])
-                    report[state.index] = (mirror.minted, cross,
-                                           len(state.active), cache_ops)
+                    report[state.index] = (
+                        mirror.minted, cross, len(state.sched), cache_ops,
+                        state.sched.next_event_round(round_no))
                 conn.send(("report", report))
                 for state in states:
                     state.sim._client_sessions.minted = []
@@ -343,7 +359,7 @@ def run_parallel(farm: "ServerFarm", queue, nprocs: int) -> "FarmResult":
     workload already grouped into the :class:`~repro.webserver.overload.
     AcceptQueue` (a plain deque/list of groups is also accepted for
     back-compat and wrapped in a policy-free queue)."""
-    from .farm import _run_worker_round
+    from .farm import _next_round_target
 
     if not isinstance(queue, AcceptQueue):
         queue = AcceptQueue(list(queue), None)
@@ -351,10 +367,11 @@ def run_parallel(farm: "ServerFarm", queue, nprocs: int) -> "FarmResult":
 
     states = farm._states
     pool = farm._pool
+    events = getattr(farm, "_events_on", runtime.events_enabled())
     txn_id = 0
     cross = 0
 
-    if not queue and not any(s.active for s in states):
+    if not queue and not any(s.sched for s in states):
         # Empty workload: don't spawn a pool to do nothing.
         return farm._assemble_result(cross, backend="serial")
 
@@ -375,7 +392,7 @@ def run_parallel(farm: "ServerFarm", queue, nprocs: int) -> "FarmResult":
         cache_stub = _SharedCacheMirror()
         for state in states:
             state.sim._session_cache = cache_stub
-            for txn in state.active:
+            for txn in state.sched.transactions():
                 txn.server._cache = cache_stub
 
     ctx = multiprocessing.get_context(_start_method())
@@ -396,12 +413,15 @@ def run_parallel(farm: "ServerFarm", queue, nprocs: int) -> "FarmResult":
             procs.append(proc)
             conns.append(parent_conn)
 
-        active = [len(s.active) for s in states]
+        active = [len(s.sched) for s in states]
         farm._parallel_active = active
+        next_events: List[Optional[int]] = [None] * farm.nworkers
+        target = 0
 
         # -- lockstep rounds ------------------------------------------------
         while queue or any(active):
-            queue.begin_round()
+            ticks = target - queue.round
+            queue.begin_round(target)
             admissions: List[Dict[int, list]] = [{} for _ in range(nprocs)]
             while True:
                 group = queue.head()
@@ -424,14 +444,15 @@ def run_parallel(farm: "ServerFarm", queue, nprocs: int) -> "FarmResult":
                 active[worker] += 1
                 txn_id += 1
             for p in range(nprocs):
-                conns[p].send(("round", admissions[p]))
+                conns[p].send(("round", admissions[p], ticks))
             reports = [_recv(conns[p], procs[p], workers_of[p])[1]
                        for p in range(nprocs)]
             # Fold round effects in worker-index order -- the order the
             # serial loop iterates workers, hence the order sessions land
             # in the pool and cache mutations land in the shared cache.
             for i in range(farm.nworkers):
-                minted, delta, count, cache_ops = reports[proc_of[i]][i]
+                (minted, delta, count, cache_ops,
+                 next_event) = reports[proc_of[i]][i]
                 pool.current_worker = i
                 for client_id, session in minted:
                     pool.store(client_id, session)
@@ -439,6 +460,8 @@ def run_parallel(farm: "ServerFarm", queue, nprocs: int) -> "FarmResult":
                     shared_cache.replay(cache_ops)
                 cross += delta
                 active[i] = count
+                next_events[i] = next_event
+            target = _next_round_target(queue, next_events, events)
 
         # -- collect final worker states ------------------------------------
         for p in range(nprocs):

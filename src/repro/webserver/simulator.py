@@ -15,9 +15,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .. import perf
+from .. import perf, runtime
 from ..crypto.batch_rsa import BatchRsaKeySet
 from ..crypto.rand import PseudoRandom
 from ..crypto.rsa import RsaPrivateKey
@@ -33,8 +33,9 @@ from ..ssl.ticket import TicketKeyRing
 from ..ssl.x509 import Certificate, make_self_signed
 from .clientpool import ClientPool
 from .costs import DEFAULT_COSTS, SystemCostModel
+from .events import TxnScheduler
 from .httpd import ApacheWorker, build_request, parse_response
-from .workload import Request, RequestWorkload
+from .workload import Request, RequestWorkload, connection_groups
 
 
 @dataclass
@@ -81,6 +82,12 @@ class SimulationResult:
     #: queueing behind concurrent transactions.  Deterministic; the p50
     #: and p99 of the overload scenarios are computed from it.
     handshake_latencies: List[float] = field(default_factory=list)
+    #: Scheduler-work snapshot (:meth:`~repro.webserver.events.
+    #: TxnScheduler.stats`: transactions touched vs the scan-loop
+    #: equivalent, rounds executed vs virtual); ``None`` on the
+    #: sequential path.  Host-execution accounting -- never part of
+    #: baseline signatures.
+    scheduler: Optional[Dict[str, int]] = None
 
     def module_shares(self) -> Dict[str, float]:
         """Module -> share of total cycles (Table 1)."""
@@ -177,6 +184,17 @@ class _Transaction:
 
     HANDSHAKE, REQUESTS, CLOSING, DONE = range(4)
 
+    # Slotted: at high concurrency the per-transaction bookkeeping is
+    # allocated once per connection; slots also pin the attribute set
+    # (e.g. a typo'd farm annotation would now raise instead of silently
+    # growing a dict).  ``_farm_offered_owner`` is the farm's
+    # cross-resumption annotation, defaulted here so simulator-only
+    # transactions stay readable.
+    __slots__ = ("_sim", "_requests", "_nrequests", "_server_prof",
+                 "_result", "_client_prof", "phase", "_hs_start",
+                 "_abandon", "_abandon_step", "_renegs_left",
+                 "_client_key", "server", "client", "_farm_offered_owner")
+
     def __init__(self, sim: "WebServerSimulator", txn_id: int,
                  requests: List[Request], server_prof: perf.Profiler,
                  result: SimulationResult,
@@ -197,6 +215,7 @@ class _Transaction:
         self._abandon = requests[0].abandon
         self._abandon_step = 0
         self._renegs_left = requests[0].renegotiations
+        self._farm_offered_owner: Optional[int] = None
         tag = str(txn_id).encode()
 
         total_kb = sum(r.size_bytes for r in requests) / 1024.0
@@ -564,21 +583,19 @@ class WebServerSimulator:
             raise ValueError("concurrency must be >= 1")
         server_prof = perf.Profiler()
         result = SimulationResult(profiler=server_prof)
-        groups: List[List[Request]] = []
-        batch: List[Request] = []
-        for request in workload.requests(nrequests):
-            batch.append(request)
-            if len(batch) == requests_per_connection:
-                groups.append(batch)
-                batch = []
-        if batch:
-            groups.append(batch)
+        # The request stream is consumed lazily through the connection
+        # grouper: nothing is materialized, so a 10^7-request run holds
+        # O(concurrency + lookahead) admission state.
+        groups = connection_groups(workload.requests(nrequests),
+                                   requests_per_connection)
         # Adversarial behaviours (abandons, renegotiation storms) live
-        # in the _Transaction state machine, so such groups take the
-        # concurrent path even at concurrency 1.
-        adversarial = any(r.abandon is not None or r.renegotiations
-                          for g in groups for r in g)
-        if concurrency > 1 or self._batcher is not None or adversarial:
+        # in the _Transaction state machine, so such workloads take the
+        # concurrent path even at concurrency 1.  The workload declares
+        # the possibility up front (a property of its configuration) --
+        # scanning the stream would both materialize it and consume the
+        # generator's rng.
+        if (concurrency > 1 or self._batcher is not None
+                or workload.adversarial):
             self._run_concurrent(groups, server_prof, result, concurrency)
         else:
             # Per-connection rng tags, exactly like the concurrent path's
@@ -594,51 +611,47 @@ class WebServerSimulator:
             result.offload = self._engines.snapshot(server_prof.now())
         return result
 
-    def _run_concurrent(self, groups: List[List[Request]],
+    def _run_concurrent(self, groups: Iterable[List[Request]],
                         server_prof: perf.Profiler,
                         result: SimulationResult,
                         concurrency: int) -> None:
         """Interleave up to ``concurrency`` transactions round-robin.
 
-        Each scheduling round advances every active transaction one step
-        and then ticks the batcher's virtual clock; a round in which
-        nothing at all progressed means every active handshake is parked
-        in the batch queue, so the queue is flushed (partial batch) rather
-        than deadlocking.
+        Each scheduling round admits from the (lazily consumed) group
+        stream while slots are free, advances this round's *runnable*
+        transactions in admission order, and then ticks the batcher's
+        virtual clock; a round in which nothing progressed means every
+        active handshake is parked in the batch queue, so the queue is
+        flushed (partial batch) rather than deadlocking.  The
+        :class:`~repro.webserver.events.TxnScheduler` reproduces the
+        legacy scan loop's schedule exactly -- under ``REPRO_EVENTS=0``
+        it *is* the scan loop -- while skipping rounds in which nothing
+        can happen and keeping batch-parked transactions off the scan.
         """
-        pending = deque(groups)
-        active: List[_Transaction] = []
+        sched = TxnScheduler(self._batcher,
+                             events=runtime.events_enabled())
+        pending = iter(groups)
+        head: Optional[List[Request]] = next(pending, None)
         txn_id = 0
-        stalled = 0
-        while pending or active:
-            while pending and len(active) < concurrency:
-                txn = _admit_transaction(self, txn_id, pending.popleft(),
+        round_no = 0
+        last_run = -1
+        while head is not None or sched:
+            while head is not None and len(sched) < concurrency:
+                txn = _admit_transaction(self, txn_id, head,
                                          server_prof, result)
                 txn_id += 1
+                head = next(pending, None)
                 if txn is not None:
-                    active.append(txn)
-            progressed = False
-            for txn in list(active):
-                if txn.step():
-                    progressed = True
-                if txn.done:
-                    active.remove(txn)
-            if self._batcher is not None:
-                with perf.activate(server_prof):
-                    self._batcher.tick()
-                    if not progressed and len(self._batcher):
-                        self._batcher.flush()
-                        progressed = True
-            if progressed:
-                stalled = 0
-                continue
-            stalled += 1
-            if stalled > 4:
-                # Nothing is moving and nothing is queued: give up on the
-                # stragglers instead of spinning forever.
-                for txn in active:
-                    txn._fail()
-                active.clear()
+                    sched.add(txn, round_no)
+            sched.run_round(round_no, round_no - last_run, server_prof)
+            last_run = round_no
+            nxt = sched.next_event_round(round_no)
+            if head is not None and len(sched) < concurrency:
+                # A free slot and a pending group: next round admits.
+                nxt = round_no + 1 if nxt is None else min(nxt,
+                                                           round_no + 1)
+            round_no = nxt if nxt is not None else round_no + 1
+        result.scheduler = sched.stats()
 
 
 def run_experiment(file_size_bytes: int, nrequests: int = 3, *,

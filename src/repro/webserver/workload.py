@@ -25,7 +25,7 @@ from ..crypto.rand import PseudoRandom
 _DRAW_SPAN = 1_000_000
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """One HTTP request in the stream.
 
@@ -33,7 +33,9 @@ class Request:
     overload workloads (:mod:`repro.webserver.overload`) stamp on their
     streams; plain workloads leave them at their defaults, which keeps
     every pre-overload request stream -- and therefore every committed
-    baseline signature -- byte-identical.
+    baseline signature -- byte-identical.  Slotted: at streaming scale
+    the requests in flight (lookahead + queued groups) are the bulk of
+    the admission layer's footprint.
     """
 
     path: str
@@ -106,6 +108,16 @@ class RequestWorkload:
         return cls([(size_bytes, 1.0)], resumption_rate, seed,
                    clients=clients)
 
+    @property
+    def adversarial(self) -> bool:
+        """True when the stream can carry adversarial annotations
+        (abandons, renegotiation storms) that only the concurrent
+        transaction state machine handles.  Declared up front -- a
+        property of the generator's configuration -- so the simulator
+        can pick its path without materializing (and consuming) the
+        stream; plain workloads never produce them."""
+        return False
+
     def _pick_size(self) -> int:
         x = self._rng.int_below(_DRAW_SPAN)
         for bound, size in self._thresholds:
@@ -129,3 +141,24 @@ class RequestWorkload:
 
     def as_list(self, count: int) -> List[Request]:
         return list(self.requests(count))
+
+
+def connection_groups(requests: Iterator[Request],
+                      per_connection: int) -> Iterator[List[Request]]:
+    """Chunk a request stream into connection groups of
+    ``per_connection`` requests (the last group may be short), lazily.
+
+    This is the streaming replacement for the eager ``groups`` lists the
+    simulator and farm used to materialize before scheduling: consumed
+    through it, a run holds one group of lookahead instead of the whole
+    workload, so admission-layer memory is O(concurrency + lookahead +
+    queued groups) no matter the request count.
+    """
+    group: List[Request] = []
+    for request in requests:
+        group.append(request)
+        if len(group) == per_connection:
+            yield group
+            group = []
+    if group:
+        yield group

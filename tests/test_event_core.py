@@ -1,0 +1,329 @@
+"""Discrete-event scheduler core: unit semantics, bit-identity against
+the committed golden baselines, and streaming-admission memory bounds.
+
+The contract under test (``repro.webserver.events``): the event heap
+must reproduce the legacy scan loop's schedule *exactly* -- admission
+order among runnable transactions, batcher flush wake placement, the
+stalled-straggler countdown -- while never touching parked transactions
+and telling the driver how far the round clock may jump.
+"""
+
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+from repro import runtime
+from repro.crypto import rsa
+from repro.perf import baseline
+from repro.ssl.loopback import make_server_identity
+from repro.webserver import ServerFarm
+from repro.webserver.events import STALL_LIMIT, TxnScheduler
+from repro.webserver.overload import AcceptQueue, AdversarialWorkload
+from repro.webserver.workload import Request, connection_groups
+from repro.perf import Profiler
+
+
+# ---------------------------------------------------------------------------
+# Scheduler unit semantics (fake transactions, fake batcher)
+# ---------------------------------------------------------------------------
+
+class FakeTxn:
+    """Scripted transaction: pops one behaviour per step.
+
+    ``"go"`` progresses, ``"park"`` reports no progress (a batch wait),
+    ``"done"`` progresses and completes.  The step log records the
+    global interleaving the scheduler produced.
+    """
+
+    def __init__(self, name, script, log):
+        self.name = name
+        self.script = list(script)
+        self.log = log
+        self.done = False
+        self.failed = False
+
+    def step(self):
+        action = self.script.pop(0) if self.script else "go"
+        self.log.append((self.name, action))
+        if action == "done":
+            self.done = True
+            return True
+        return action != "park"
+
+    def _fail(self):
+        self.failed = True
+        self.done = True
+
+
+class FakeBatcher:
+    """Just enough of HandshakeBatcher's surface for the scheduler:
+    ``flushes``/``__len__``/``tick``/``flush``."""
+
+    def __init__(self):
+        self.flushes = 0
+        self.queued = 0
+        self.ticks = 0
+
+    def __len__(self):
+        return self.queued
+
+    def tick(self, ticks=1):
+        self.ticks += ticks
+
+    def flush(self):
+        if self.queued:
+            self.flushes += 1
+            self.queued = 0
+
+
+def drive(sched, profiler=None, max_rounds=50):
+    """Run the scheduler the way the farm does: execute, ask for the
+    next event, jump.  Returns the list of executed round numbers."""
+    profiler = profiler or Profiler()
+    executed = []
+    round_no, prev = 0, -1
+    while sched and len(executed) < max_rounds:
+        sched.run_round(round_no, round_no - prev, profiler)
+        executed.append(round_no)
+        prev = round_no
+        nxt = sched.next_event_round(round_no)
+        if nxt is None:
+            break
+        round_no = nxt
+    return executed
+
+
+class TestTxnScheduler:
+    def test_admission_order_within_a_round(self):
+        log = []
+        sched = TxnScheduler()
+        for name in ("a", "b", "c"):
+            sched.add(FakeTxn(name, ["go", "done"], log), 0)
+        drive(sched)
+        # Each round sweeps the runnable set in admission order.
+        assert [e[0] for e in log] == ["a", "b", "c", "a", "b", "c"]
+
+    def test_completion_is_constant_time_removal(self):
+        log = []
+        sched = TxnScheduler()
+        done_names = []
+        sched.add(FakeTxn("a", ["done"], log), 0)
+        sched.add(FakeTxn("b", ["go", "done"], log), 0)
+        sched.run_round(0, 1, Profiler(),
+                        on_done=lambda t: done_names.append(t.name))
+        assert done_names == ["a"]
+        assert len(sched) == 1
+
+    def test_parked_txn_not_touched_until_flush(self):
+        log = []
+        batcher = FakeBatcher()
+        sched = TxnScheduler(batcher)
+        parked = FakeTxn("p", ["go", "park", "done"], log)
+        runner = FakeTxn("r", ["go", "go", "go", "done"], log)
+        sched.add(parked, 0)
+        sched.add(runner, 0)
+        sched.run_round(0, 1, Profiler())
+        sched.run_round(1, 1, Profiler())
+        batcher.queued = 1  # the decrypt "p" parked on
+        sched.run_round(2, 1, Profiler())
+        sched.run_round(3, 1, Profiler())
+        # "p" parked in round 1 and must not appear in rounds 2-3.
+        assert log.count(("p", "park")) == 1
+        assert [e for e in log if e[0] == "p"] == [("p", "go"), ("p", "park")]
+        # Round 4: nothing progresses, so the legacy not-progressed
+        # flush fires and wakes "p" for round 5.
+        sched.run_round(4, 1, Profiler())
+        assert batcher.flushes == 1
+        sched.run_round(5, 1, Profiler())
+        assert ("p", "done") in log
+
+    def test_mid_step_flush_wakes_later_orders_same_round(self):
+        log = []
+        batcher = FakeBatcher()
+        sched = TxnScheduler(batcher)
+
+        class FlushingTxn(FakeTxn):
+            def step(self):
+                result = super().step()
+                if self.script and self.script[0] == "FLUSH":
+                    self.script.pop(0)
+                    batcher.queued = 1
+                    batcher.flush()
+                return result
+
+        early = FakeTxn("early", ["park", "done"], log)        # order 0
+        flusher = FlushingTxn("mid", ["go", "go", "FLUSH", "done"], log)
+        late = FakeTxn("late", ["park", "go", "done"], log)    # order 2
+        sched.add(early, 0)
+        sched.add(flusher, 0)
+        sched.add(late, 0)
+        sched.run_round(0, 1, Profiler())   # early and late park
+        log_before = len(log)
+        sched.run_round(1, 1, Profiler())   # mid flushes during its step
+        round1 = log[log_before:]
+        # late (order 2 > the flusher's order 1) is re-stepped within
+        # round 1 -- the scan loop would still have reached it; early
+        # (order 0 <= 1) was already passed and waits for round 2.
+        assert round1 == [("mid", "go"), ("late", "go")]
+        sched.run_round(2, 1, Profiler())
+        assert ("early", "done") in log
+
+    def test_straggler_countdown_jump_and_fail(self):
+        log = []
+        sched = TxnScheduler()
+        txn = FakeTxn("s", ["park"] * 20, log)
+        sched.add(txn, 0)
+        sched.run_round(0, 1, Profiler())
+        # Nothing runnable, nothing queued: the next interesting round
+        # is the stall deadline (round 0 already burned one tick).
+        nxt = sched.next_event_round(0)
+        assert nxt == STALL_LIMIT
+        sched.run_round(nxt, nxt - 0, Profiler())
+        assert txn.failed and not sched
+
+    def test_next_event_round_tracks_batcher_continuations(self):
+        # A queued decrypt can outlive its transaction (mid-handshake
+        # abandons); the legacy loop still flushes it next round.
+        batcher = FakeBatcher()
+        batcher.queued = 1
+        sched = TxnScheduler(batcher)
+        assert sched.next_event_round(7) == 8
+        batcher.queued = 0
+        assert sched.next_event_round(7) is None
+
+    def test_scan_mode_steps_everything_every_round(self):
+        log = []
+        sched = TxnScheduler(events=False)
+        sched.add(FakeTxn("a", ["go", "park", "park", "done"], log), 0)
+        sched.add(FakeTxn("b", ["go", "go", "go", "done"], log), 0)
+        for round_no in range(4):
+            sched.run_round(round_no, 1, Profiler())
+        # The scan loop re-steps parked transactions as no-ops.
+        assert [e[0] for e in log] == ["a", "b"] * 4
+        assert sched.touched == 8
+
+    def test_work_counters(self):
+        log = []
+        sched = TxnScheduler()
+        sched.add(FakeTxn("a", ["go", "done"], log), 0)
+        drive(sched)
+        stats = sched.stats()
+        assert stats["touched"] == 2
+        assert stats["rounds_executed"] == 2
+        assert stats["rounds_virtual"] >= stats["rounds_executed"]
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: event core vs legacy scan loop vs committed baselines
+# ---------------------------------------------------------------------------
+
+#: One representative per golden scenario family touched by the event
+#: core (simulator, farm, engines, tickets, overload).
+FAMILY_SCENARIOS = (
+    "webserver_https",
+    "farm_2workers",
+    "engines_preferential_farm",
+    "ticket_resumption",
+    "overload_flash_crowd",
+)
+
+
+@pytest.mark.parametrize("name", FAMILY_SCENARIOS)
+def test_event_core_matches_committed_baseline(name):
+    from repro.tools.perfgate import baseline_path, capture_scenario
+    committed = baseline.load_json(baseline_path(Path("baselines"), name))
+    with runtime.events(True):
+        fresh = capture_scenario(name)
+    assert baseline.diff_signatures(committed, fresh) == []
+
+
+@pytest.mark.parametrize("name", ("farm_2workers", "overload_flash_crowd"))
+def test_legacy_scan_loop_still_matches_baseline(name):
+    # REPRO_EVENTS=0 keeps the reference semantics runnable; it must
+    # stay pinned to the same goldens.
+    from repro.tools.perfgate import baseline_path, capture_scenario
+    committed = baseline.load_json(baseline_path(Path("baselines"), name))
+    with runtime.events(False):
+        fresh = capture_scenario(name)
+    assert baseline.diff_signatures(committed, fresh) == []
+
+
+def _farm_signature(result):
+    return (result.requests_completed, result.failures,
+            round(result.total_cycles(), 3), result.wire_bytes,
+            tuple(round(lat, 9) for lat in result.handshake_latencies),
+            result.queue_wait_rounds_total, result.peak_queue_depth,
+            result.handshakes_abandoned, result.resumed_handshakes)
+
+
+def _run_overload_farm(events):
+    rsa.reset_error_tables()
+    key, cert = make_server_identity(512, seed=b"evcore-test")
+    farm = ServerFarm(2, key=key, cert=cert, use_crt=True, seed=b"evcore")
+    workload = AdversarialWorkload.fixed(
+        2048, resumption_rate=0.5, seed=b"evcore-wl", clients=8,
+        mean_gap_rounds=4.0, flood_rate=0.25)
+    with runtime.events(events):
+        result = farm.run(workload, 24, concurrency_per_worker=4)
+    return _farm_signature(result), [r.scheduler for r in result.results]
+
+
+def test_event_core_signature_equals_scan_loop():
+    sig_on, stats_on = _run_overload_farm(True)
+    sig_off, stats_off = _run_overload_farm(False)
+    assert sig_on == sig_off
+    # ... and the event core did strictly less scheduler work.
+    rounds_on = sum(s["rounds_executed"] for s in stats_on)
+    rounds_off = sum(s["rounds_executed"] for s in stats_off)
+    assert rounds_on < rounds_off
+    assert (sum(s["touched"] for s in stats_on)
+            <= sum(s["touched"] for s in stats_off))
+
+
+# ---------------------------------------------------------------------------
+# Streaming admission: O(lookahead + capacity) memory
+# ---------------------------------------------------------------------------
+
+def _synthetic_requests(nrequests):
+    for i in range(nrequests):
+        yield Request(path=f"/doc-{i}.html", size_bytes=1024,
+                      resumable=bool(i & 1), client_id=i % 32,
+                      arrival_round=i // 8)
+
+
+def test_million_request_stream_drains_in_flat_memory():
+    """The full admission path (generator -> grouper -> AcceptQueue)
+    holds one group of lookahead: a 10^6-request stream must drain
+    within a small constant peak, nowhere near the ~200 MB an eager
+    groups list would pin."""
+    nrequests = 10 ** 6
+    tracemalloc.start()
+    queue = AcceptQueue(connection_groups(_synthetic_requests(nrequests), 4))
+    drained = 0
+    while queue:
+        target = queue.round + 1
+        upcoming = queue.next_arrival_round()
+        if queue.depth() == 0 and upcoming is not None:
+            target = max(target, upcoming)
+        queue.begin_round(target)
+        while queue.depth():
+            drained += len(queue.pop())
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert drained == nrequests
+    # Measured ~4 KiB; 64 KiB leaves slack without letting a
+    # re-materialization (tens of MB) sneak back in.
+    assert peak < 64 * 1024, f"streaming admission peaked at {peak} bytes"
+
+
+def test_farm_consumes_workload_lazily():
+    # A one-shot generator is sufficient: nothing may materialize or
+    # re-iterate the stream.
+    rsa.reset_error_tables()
+    key, cert = make_server_identity(512, seed=b"evcore-test")
+    farm = ServerFarm(1, key=key, cert=cert, use_crt=True, seed=b"evcore")
+    workload = AdversarialWorkload.fixed(1024, seed=b"evcore-lazy",
+                                         mean_gap_rounds=1.0)
+    result = farm.run(workload, 6, concurrency_per_worker=2)
+    assert result.requests_completed == 6
